@@ -1,0 +1,252 @@
+(* Benchmark harness.
+
+   Running this executable (1) regenerates every table and figure of the
+   paper — the reproduction output — and (2) times each experiment's
+   algorithms with Bechamel, one Test per table/figure plus scaling and
+   ablation series. See DESIGN.md §4 for the experiment index. *)
+
+open Bechamel
+open Toolkit
+
+let lib3 = Fulib.Library.standard3
+
+let table_for ~seed g =
+  let rng = Workloads.Prng.create seed in
+  Workloads.Tables.for_graph rng ~library:lib3 g
+
+let mid_deadline g tbl =
+  let tmin = Core.Synthesis.min_deadline g tbl in
+  tmin + (tmin / 5)
+
+(* --- Figure 1-3: the motivating example ----------------------------- *)
+
+let fig_tests =
+  let graph =
+    lazy
+      (let b = Dfg.Builder.create () in
+       let v1 = Dfg.Builder.add_node b ~name:"v1" ~op:"mul" in
+       let v2 = Dfg.Builder.add_node b ~name:"v2" ~op:"mul" in
+       let v3 = Dfg.Builder.add_node b ~name:"v3" ~op:"add" in
+       let v4 = Dfg.Builder.add_node b ~name:"v4" ~op:"add" in
+       let v5 = Dfg.Builder.add_node b ~name:"v5" ~op:"sub" in
+       Dfg.Builder.add_edge b ~src:v1 ~dst:v3;
+       Dfg.Builder.add_edge b ~src:v2 ~dst:v3;
+       Dfg.Builder.add_edge b ~src:v3 ~dst:v4;
+       Dfg.Builder.add_edge b ~src:v3 ~dst:v5;
+       let gr = Dfg.Builder.finish b in
+       (gr, table_for ~seed:12 gr))
+  in
+  Test.make_grouped ~name:"fig1-3"
+    [
+      Test.make ~name:"exact-assignment"
+        (Staged.stage (fun () ->
+             let gr, tbl = Lazy.force graph in
+             Assign.Exact.solve gr tbl ~deadline:10));
+      Test.make ~name:"min-resource-schedule"
+        (Staged.stage (fun () ->
+             let gr, tbl = Lazy.force graph in
+             let a = Assign.Assignment.all_fastest tbl in
+             Sched.Min_resource.run gr tbl a ~deadline:10));
+    ]
+
+(* --- Tables 1 and 2: one test per benchmark x algorithm -------------- *)
+
+let algo_test g tbl ~deadline algo =
+  Test.make
+    ~name:(String.lowercase_ascii (Core.Synthesis.algorithm_name algo))
+    (Staged.stage (fun () -> Core.Synthesis.assign algo g tbl ~deadline))
+
+let benchmark_group algorithms (name, g) =
+  let seed =
+    String.fold_left (fun acc c -> (acc * 31) + Char.code c) 17 name
+  in
+  let tbl = table_for ~seed g in
+  let deadline = mid_deadline g tbl in
+  Test.make_grouped ~name (List.map (algo_test g tbl ~deadline) algorithms)
+
+let table1_tests =
+  Test.make_grouped ~name:"table1"
+    (List.map
+       (benchmark_group Core.Synthesis.[ Greedy; Once; Repeat; Tree ])
+       (Workloads.Filters.trees ()))
+
+let table2_tests =
+  Test.make_grouped ~name:"table2"
+    (List.map
+       (benchmark_group Core.Synthesis.[ Greedy; Once; Repeat ])
+       (Workloads.Filters.dags ()))
+
+(* --- Phase 2 on the largest benchmark -------------------------------- *)
+
+let sched_tests =
+  let g = Workloads.Filters.elliptic () in
+  let tbl = table_for ~seed:7 g in
+  let deadline = mid_deadline g tbl in
+  let a =
+    match Assign.Dfg_assign.repeat g tbl ~deadline with
+    | Some a -> a
+    | None -> failwith "bench: elliptic assignment infeasible"
+  in
+  Test.make_grouped ~name:"phase2-elliptic"
+    [
+      Test.make ~name:"lower-bound"
+        (Staged.stage (fun () -> Sched.Lower_bound.per_type g tbl a ~deadline));
+      Test.make ~name:"min-resource"
+        (Staged.stage (fun () -> Sched.Min_resource.run g tbl a ~deadline));
+      Test.make ~name:"asap-alap"
+        (Staged.stage (fun () ->
+             ( Sched.Asap_alap.asap g tbl a,
+               Sched.Asap_alap.alap g tbl a ~deadline )));
+    ]
+
+(* --- Ablation: expansion orientation --------------------------------- *)
+
+let ablation_tests =
+  let g = Workloads.Filters.elliptic () in
+  Test.make_grouped ~name:"ablation-expand"
+    [
+      Test.make ~name:"forward" (Staged.stage (fun () -> Dfg.Expand.expand g));
+      Test.make ~name:"transposed"
+        (Staged.stage (fun () -> Dfg.Expand.expand (Dfg.Transpose.transpose g)));
+    ]
+
+(* --- Extensions: refinement, force-directed, series-parallel ---------- *)
+
+let extension_tests =
+  let g = Workloads.Filters.rls_laguerre () in
+  let tbl = table_for ~seed:11 g in
+  let deadline = mid_deadline g tbl in
+  let sp_graph = Workloads.Filters.volterra () in
+  let sp_tbl = table_for ~seed:13 sp_graph in
+  let sp_deadline = mid_deadline sp_graph sp_tbl in
+  Test.make_grouped ~name:"extensions"
+    [
+      Test.make ~name:"repeat-refined"
+        (Staged.stage (fun () ->
+             Assign.Local_search.repeat_plus g tbl ~deadline ~seed:1));
+      Test.make ~name:"force-directed"
+        (Staged.stage (fun () ->
+             match Assign.Dfg_assign.repeat g tbl ~deadline with
+             | Some a -> Sched.Force_directed.run g tbl a ~deadline
+             | None -> None));
+      Test.make ~name:"series-parallel-solve"
+        (Staged.stage (fun () ->
+             Assign.Series_parallel.solve sp_graph sp_tbl ~deadline:sp_deadline));
+      Test.make ~name:"dual-tree"
+        (Staged.stage (fun () ->
+             Assign.Dual.for_tree sp_graph sp_tbl ~budget:250));
+      Test.make ~name:"unfold-x4"
+        (Staged.stage (fun () -> Dfg.Unfold.unfold g ~factor:4));
+      Test.make ~name:"retime-min-period"
+        (Staged.stage (fun () ->
+             Dfg.Cyclic.min_cycle_period g ~time:(Fulib.Table.min_time tbl)));
+      Test.make ~name:"beam-16"
+        (Staged.stage (fun () -> Assign.Beam.solve g tbl ~deadline));
+      Test.make ~name:"verilog-emit"
+        (Staged.stage
+           (let dp =
+              lazy
+                (match Assign.Dfg_assign.repeat g tbl ~deadline with
+                | Some a -> (
+                    match Sched.Min_resource.run g tbl a ~deadline with
+                    | Some { Sched.Min_resource.schedule; _ } ->
+                        Rtl.Datapath.build g tbl schedule
+                    | None -> failwith "bench: scheduling failed")
+                | None -> failwith "bench: assignment failed")
+            in
+            fun () -> Rtl.Verilog.emit g tbl (Lazy.force dp)));
+    ]
+
+(* --- Scaling: algorithm run time vs graph size ----------------------- *)
+
+let scaling_instance n =
+  let rng = Workloads.Prng.create (1000 + n) in
+  let g = Workloads.Random_dfg.random_tree rng ~n ~max_children:3 in
+  let tbl = Workloads.Tables.random_tradeoff rng ~library:lib3 ~num_nodes:n in
+  let deadline = mid_deadline g tbl in
+  (g, tbl, deadline)
+
+let scaling_dag_instance n =
+  let rng = Workloads.Prng.create (2000 + n) in
+  let g = Workloads.Random_dfg.random_dag rng ~n ~extra_edges:(n / 5) in
+  let tbl = Workloads.Tables.random_tradeoff rng ~library:lib3 ~num_nodes:n in
+  let deadline = mid_deadline g tbl in
+  (g, tbl, deadline)
+
+let scaling_tests =
+  Test.make_grouped ~name:"scaling"
+    [
+      Test.make_indexed ~name:"tree-assign" ~args:[ 50; 100; 200 ] (fun n ->
+          let g, tbl, deadline = scaling_instance n in
+          Staged.stage (fun () -> Assign.Tree_assign.solve g tbl ~deadline));
+      Test.make_indexed ~name:"repeat" ~args:[ 20; 40; 80 ] (fun n ->
+          let g, tbl, deadline = scaling_dag_instance n in
+          Staged.stage (fun () -> Assign.Dfg_assign.repeat g tbl ~deadline));
+      Test.make_indexed ~name:"greedy" ~args:[ 20; 40; 80 ] (fun n ->
+          let g, tbl, deadline = scaling_dag_instance n in
+          Staged.stage (fun () -> Assign.Greedy.solve g tbl ~deadline));
+    ]
+
+(* --- Runner ----------------------------------------------------------- *)
+
+let run_benchmarks tests =
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-52s %14s %8s\n" "benchmark" "time/run" "r^2";
+  Printf.printf "%s\n" (String.make 76 '-');
+  List.iter
+    (fun (name, o) ->
+      let estimate =
+        match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan
+      in
+      let time_str =
+        if estimate >= 1e9 then Printf.sprintf "%.3f s" (estimate /. 1e9)
+        else if estimate >= 1e6 then Printf.sprintf "%.3f ms" (estimate /. 1e6)
+        else if estimate >= 1e3 then Printf.sprintf "%.3f us" (estimate /. 1e3)
+        else Printf.sprintf "%.1f ns" estimate
+      in
+      let r2 =
+        match Analyze.OLS.r_square o with
+        | Some r -> Printf.sprintf "%.4f" r
+        | None -> "-"
+      in
+      Printf.printf "%-52s %14s %8s\n" name time_str r2)
+    rows
+
+let () =
+  (* Part 1: the reproduction output — every table and figure. *)
+  print_endline "=== Reproduction: Figures 1-3 (motivating example) ===";
+  print_endline (Core.Experiments.motivational ());
+  print_endline "=== Reproduction: Table 1 (tree benchmarks) ===";
+  List.iter
+    (fun r -> print_endline (Core.Experiments.render_report r))
+    (Core.Experiments.table1 ());
+  print_endline "=== Reproduction: Table 2 (general DFGs) ===";
+  List.iter
+    (fun r -> print_endline (Core.Experiments.render_report r))
+    (Core.Experiments.table2 ());
+  print_endline "=== Reproduction: ablations ===";
+  print_endline (Core.Experiments.ablation_expand ());
+  print_endline (Core.Experiments.ablation_order ());
+  print_endline "=== Reproduction: extension studies ===";
+  print_endline (Core.Experiments.extension_refinement ());
+  print_endline (Core.Experiments.extension_schedulers ());
+  (* Part 2: Bechamel timings, one Test per table/figure. *)
+  print_endline "=== Timings (Bechamel, OLS estimate per run) ===";
+  run_benchmarks
+    (Test.make_grouped ~name:"hetsched"
+       [
+         fig_tests;
+         table1_tests;
+         table2_tests;
+         sched_tests;
+         ablation_tests;
+         extension_tests;
+         scaling_tests;
+       ])

@@ -1,0 +1,69 @@
+(* Regenerates every table and figure of the paper's evaluation.
+   See DESIGN.md section 4 for the experiment index. *)
+
+let print_reports title reports =
+  print_endline title;
+  print_endline (String.make (String.length title) '=');
+  List.iter
+    (fun r ->
+      print_endline (Core.Experiments.render_report r);
+      print_newline ())
+    reports
+
+let run_table1 () = print_reports "Table 1 (tree benchmarks)" (Core.Experiments.table1 ())
+let run_table2 () = print_reports "Table 2 (general DFGs)" (Core.Experiments.table2 ())
+let run_motivational () = print_endline (Core.Experiments.motivational ())
+
+let run_ablation () =
+  print_endline (Core.Experiments.ablation_expand ());
+  print_newline ();
+  print_endline (Core.Experiments.ablation_order ())
+
+let run_extensions () =
+  print_endline (Core.Experiments.extension_refinement ());
+  print_newline ();
+  print_endline (Core.Experiments.extension_schedulers ());
+  print_newline ();
+  print_endline (Core.Experiments.extension_library_size ());
+  print_newline ();
+  print_endline (Core.Experiments.extension_min_config ());
+  print_newline ();
+  print_endline (Core.Experiments.extension_heuristic_ladder ());
+  print_newline ();
+  print_endline (Core.Experiments.seed_sensitivity ());
+  print_newline ();
+  print_endline (Core.Experiments.extension_throughput ());
+  print_newline ();
+  print_endline (Core.Experiments.extension_rotation ())
+
+let run_all () =
+  run_motivational ();
+  print_newline ();
+  run_table1 ();
+  run_table2 ();
+  run_ablation ();
+  print_newline ();
+  run_extensions ()
+
+open Cmdliner
+
+let cmd_of name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+
+let () =
+  let default = Term.(const run_all $ const ()) in
+  let info =
+    Cmd.info "experiments"
+      ~doc:"Regenerate the paper's tables and figures (IPDPS 2004 heterogeneous assignment)"
+  in
+  let cmds =
+    [
+      cmd_of "motivational" "Figures 1-3: the motivating example" run_motivational;
+      cmd_of "table1" "Table 1: tree benchmarks" run_table1;
+      cmd_of "table2" "Table 2: general DFG benchmarks" run_table2;
+      cmd_of "ablation" "Design-choice ablations" run_ablation;
+      cmd_of "extensions" "Extension studies (refinement, schedulers)" run_extensions;
+      cmd_of "all" "Everything" run_all;
+    ]
+  in
+  exit (Cmd.eval (Cmd.group ~default info cmds))

@@ -1,0 +1,19 @@
+(* Regenerates data/*.dfg — the benchmark netlists with their seeded
+   time/cost tables — so users can inspect, edit and reload the exact
+   instances the experiments run on. *)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "data" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (name, g) ->
+      let seed = String.fold_left (fun acc c -> (acc * 31) + Char.code c) 17 name in
+      let rng = Workloads.Prng.create seed in
+      let table = Workloads.Tables.for_graph rng ~library:Fulib.Library.standard3 g in
+      let file =
+        String.map (function ' ' -> '_' | c -> c) name ^ ".dfg"
+      in
+      let path = Filename.concat dir file in
+      Netlist.save ~path ~table g;
+      Printf.printf "wrote %s (%d nodes)\n" path (Dfg.Graph.num_nodes g))
+    (Workloads.Filters.extended ())

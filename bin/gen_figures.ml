@@ -1,0 +1,104 @@
+(* Renders the reproduction's figures as standalone SVGs:
+
+     figures/cost_vs_deadline_<benchmark>.svg   (Tables 1-2 as curves)
+     figures/avg_reduction.svg                  (headline bar chart)
+     figures/frontier_<benchmark>.svg           (Pareto staircase)
+
+   Usage: dune exec bin/gen_figures.exe [-- output_dir]               *)
+
+let algorithms = Core.Synthesis.[ Greedy; Once; Repeat ]
+
+let slug name = String.map (function ' ' -> '_' | c -> c) name
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "figures" in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let write name contents =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  in
+  (* cost-vs-deadline curves per benchmark *)
+  let reductions = ref [] in
+  List.iter
+    (fun (name, g) ->
+      let seed =
+        String.fold_left (fun acc c -> (acc * 31) + Char.code c) 17 name
+      in
+      let rng = Workloads.Prng.create seed in
+      let table =
+        Workloads.Tables.for_graph rng ~library:Fulib.Library.standard3 g
+      in
+      let tmin = Core.Synthesis.min_deadline g table in
+      let deadlines =
+        List.init 10 (fun i -> tmin + (i * (1 + (tmin / 8))))
+      in
+      let series =
+        List.map
+          (fun algo ->
+            {
+              Core.Svg_chart.label = Core.Synthesis.algorithm_name algo;
+              points =
+                List.filter_map
+                  (fun d ->
+                    match Core.Synthesis.assign algo g table ~deadline:d with
+                    | Some a ->
+                        Some
+                          ( float_of_int d,
+                            float_of_int (Assign.Assignment.total_cost table a) )
+                    | None -> None)
+                  deadlines;
+            })
+          algorithms
+      in
+      write
+        (Printf.sprintf "cost_vs_deadline_%s.svg" (slug name))
+        (Core.Svg_chart.line_chart
+           ~title:(Printf.sprintf "%s: system cost vs timing constraint" name)
+           ~x_label:"timing constraint T" ~y_label:"system cost" series);
+      (* average reduction of Repeat vs Greedy for the bar chart *)
+      let reds =
+        List.filter_map
+          (fun d ->
+            match
+              ( Core.Synthesis.assign Core.Synthesis.Greedy g table ~deadline:d,
+                Core.Synthesis.assign Core.Synthesis.Repeat g table ~deadline:d )
+            with
+            | Some ga, Some ra ->
+                let gc = Assign.Assignment.total_cost table ga in
+                let rc = Assign.Assignment.total_cost table ra in
+                if gc > 0 then Some (100.0 *. float_of_int (gc - rc) /. float_of_int gc)
+                else None
+            | _ -> None)
+          deadlines
+      in
+      if reds <> [] then
+        reductions :=
+          (name, List.fold_left ( +. ) 0.0 reds /. float_of_int (List.length reds))
+          :: !reductions;
+      (* frontier staircase *)
+      let points = Core.Frontier.trace g table ~max_deadline:(tmin * 2) in
+      if points <> [] then
+        write
+          (Printf.sprintf "frontier_%s.svg" (slug name))
+          (Core.Svg_chart.line_chart
+             ~title:(Printf.sprintf "%s: cost/deadline Pareto frontier" name)
+             ~x_label:"deadline" ~y_label:"cost"
+             [
+               {
+                 Core.Svg_chart.label = "Repeat";
+                 points =
+                   List.map
+                     (fun p ->
+                       ( float_of_int p.Core.Frontier.deadline,
+                         float_of_int p.Core.Frontier.cost ))
+                     points;
+               };
+             ]))
+    (Workloads.Filters.all ());
+  write "avg_reduction.svg"
+    (Core.Svg_chart.bar_chart
+       ~title:"Average % cost reduction of DFG_Assign_Repeat vs greedy"
+       ~y_label:"% reduction" (List.rev !reductions))

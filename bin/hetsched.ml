@@ -1,0 +1,229 @@
+(* Command-line front end: inspect benchmark DFGs, export DOT, and run the
+   two-phase synthesis pipeline on them. *)
+
+open Cmdliner
+
+let find_benchmark name =
+  match List.assoc_opt name (Workloads.Filters.all ()) with
+  | Some g -> g
+  | None ->
+      let known =
+        String.concat ", " (List.map fst (Workloads.Filters.all ()))
+      in
+      Printf.eprintf "unknown benchmark %S (known: %s)\n" name known;
+      exit 2
+
+let table_for ~seed g =
+  let rng = Workloads.Prng.create seed in
+  Workloads.Tables.for_graph rng ~library:Fulib.Library.standard3 g
+
+let benchmark_arg =
+  let doc = "Benchmark DFG name (see $(b,list))." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BENCHMARK" ~doc)
+
+let benchmark_opt_arg =
+  let doc = "Benchmark DFG name (ignored when $(b,--file) is given)." in
+  Arg.(value & pos 0 string "diffeq" & info [] ~docv:"BENCHMARK" ~doc)
+
+let file_arg =
+  let doc = "Load the DFG (and its fu-types table, if present) from a netlist file instead of a built-in benchmark." in
+  Arg.(value & opt (some file) None & info [ "file"; "f" ] ~doc)
+
+(* resolve the instance: --file wins; otherwise a named benchmark with a
+   seeded random table *)
+let instance ~name ~file ~seed =
+  match file with
+  | Some path -> (
+      match Netlist.load ~path with
+      | g, Some table -> (g, table)
+      | g, None ->
+          let rng = Workloads.Prng.create seed in
+          (g, Workloads.Tables.for_graph rng ~library:Fulib.Library.standard3 g)
+      | exception Netlist.Parse_error (line, msg) ->
+          Printf.eprintf "%s:%d: %s\n" path line msg;
+          exit 2)
+  | None ->
+      let g = find_benchmark name in
+      (g, table_for ~seed g)
+
+let seed_arg =
+  let doc = "Seed for the random time/cost table." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (name, g) ->
+        let _, tree = Assign.Dfg_assign.choose_tree g in
+        Printf.printf "%-16s %3d nodes, %3d edges, %s, %d duplicated nodes\n"
+          name (Dfg.Graph.num_nodes g) (Dfg.Graph.num_edges g)
+          (if Dfg.Graph.is_tree g || Dfg.Graph.is_tree (Dfg.Transpose.transpose g)
+           then "tree" else "DAG")
+          (List.length (Dfg.Expand.duplicated_nodes tree)))
+      (Workloads.Filters.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List benchmark DFGs") Term.(const run $ const ())
+
+let show_cmd =
+  let run name =
+    let g = find_benchmark name in
+    Format.printf "%a@." Dfg.Graph.pp g
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print a benchmark DFG")
+    Term.(const run $ benchmark_arg)
+
+let dot_cmd =
+  let run name =
+    let g = find_benchmark name in
+    print_string (Dfg.Dot.to_dot g)
+  in
+  Cmd.v (Cmd.info "dot" ~doc:"Export a benchmark DFG as Graphviz DOT")
+    Term.(const run $ benchmark_arg)
+
+let algo_arg =
+  let algo_conv =
+    Arg.enum
+      (List.map
+         (fun a -> (String.lowercase_ascii (Core.Synthesis.algorithm_name a), a))
+         Core.Synthesis.all_algorithms)
+  in
+  let doc = "Assignment algorithm: greedy, tree_assign, dfg_assign_once, dfg_assign_repeat, exact." in
+  Arg.(value & opt algo_conv Core.Synthesis.Repeat & info [ "algo" ] ~doc)
+
+let deadline_arg =
+  let doc = "Timing constraint (control steps); default 1.2x the minimum." in
+  Arg.(value & opt (some int) None & info [ "deadline"; "T" ] ~doc)
+
+let synth_cmd =
+  let run name seed algo deadline file =
+    let g, table = instance ~name ~file ~seed in
+    let deadline =
+      match deadline with
+      | Some t -> t
+      | None ->
+          int_of_float
+            (ceil (1.2 *. float_of_int (Core.Synthesis.min_deadline g table)))
+    in
+    let label = match file with Some p -> p | None -> name in
+    Printf.printf "instance %s, deadline %d (minimum %d)\n" label deadline
+      (Core.Synthesis.min_deadline g table);
+    match Core.Synthesis.run algo g table ~deadline with
+    | None -> print_endline "infeasible: no assignment meets the deadline"
+    | Some r ->
+        Format.printf "%a@." (Core.Synthesis.pp_result ~graph:g ~table) r
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Run assignment + minimum-resource scheduling")
+    Term.(const run $ benchmark_opt_arg $ seed_arg $ algo_arg $ deadline_arg $ file_arg)
+
+let frontier_cmd =
+  let csv_arg =
+    let doc = "Emit CSV instead of a table." in
+    Arg.(value & flag & info [ "csv" ] ~doc)
+  in
+  let run name seed algo file csv =
+    let g, table = instance ~name ~file ~seed in
+    let tmin = Core.Synthesis.min_deadline g table in
+    let points = Core.Frontier.trace ~algorithm:algo g table ~max_deadline:(tmin * 3) in
+    if csv then print_string (Core.Csv.of_frontier points)
+    else print_string (Core.Frontier.to_string points)
+  in
+  Cmd.v
+    (Cmd.info "frontier"
+       ~doc:"Trace the cost/deadline Pareto frontier up to 3x the minimum deadline")
+    Term.(const run $ benchmark_opt_arg $ seed_arg $ algo_arg $ file_arg $ csv_arg)
+
+let netlist_cmd =
+  let run name seed =
+    let g = find_benchmark name in
+    let table = table_for ~seed g in
+    print_string (Netlist.to_string ~table g)
+  in
+  Cmd.v
+    (Cmd.info "netlist"
+       ~doc:"Dump a benchmark (with its seeded time/cost table) as an editable netlist")
+    Term.(const run $ benchmark_arg $ seed_arg)
+
+let compile_cmd =
+  let outdir_arg =
+    let doc = "Output directory for report.txt, schedule.csv, datapath.v, graph.dot, frontier.csv." in
+    Arg.(value & opt string "hetsched_out" & info [ "output"; "o" ] ~doc)
+  in
+  let run name seed algo deadline file outdir =
+    let g, table = instance ~name ~file ~seed in
+    match Flow.compile ?deadline ~algorithm:algo g table ~outdir with
+    | None -> print_endline "infeasible: no assignment meets the deadline"; exit 1
+    | Some s ->
+        Printf.printf
+          "compiled: cost %d, makespan %d, config %s, %d registers, %d mux inputs\n"
+          s.Flow.cost s.Flow.makespan
+          (Sched.Config.to_string s.Flow.config)
+          s.Flow.registers s.Flow.mux_inputs;
+        List.iter (Printf.printf "  %s\n") s.Flow.files
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Full flow: synthesis + schedule + binding + Verilog into an output directory")
+    Term.(const run $ benchmark_opt_arg $ seed_arg $ algo_arg $ deadline_arg $ file_arg $ outdir_arg)
+
+let analyze_cmd =
+  let run name seed algo deadline file =
+    let g, table = instance ~name ~file ~seed in
+    let deadline =
+      match deadline with
+      | Some t -> t
+      | None ->
+          int_of_float
+            (ceil (1.2 *. float_of_int (Core.Synthesis.min_deadline g table)))
+    in
+    match Core.Synthesis.assign algo g table ~deadline with
+    | None -> print_endline "infeasible"; exit 1
+    | Some a ->
+        Format.printf "%a@."
+          (Core.Analysis.pp ~graph:g ~table)
+          (Core.Analysis.analyse g table a ~deadline)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Bottleneck report: critical nodes, speed-ups, deadline-safe savings")
+    Term.(const run $ benchmark_opt_arg $ seed_arg $ algo_arg $ deadline_arg $ file_arg)
+
+let gantt_cmd =
+  let run name seed algo deadline file =
+    let g, table = instance ~name ~file ~seed in
+    let deadline =
+      match deadline with
+      | Some t -> t
+      | None ->
+          int_of_float
+            (ceil (1.2 *. float_of_int (Core.Synthesis.min_deadline g table)))
+    in
+    match Core.Synthesis.run algo g table ~deadline with
+    | None -> print_endline "infeasible"; exit 1
+    | Some r -> print_string (Sched.Gantt.render ~graph:g ~table r.Core.Synthesis.schedule)
+  in
+  Cmd.v
+    (Cmd.info "gantt" ~doc:"Render the bound schedule as an ASCII Gantt chart")
+    Term.(const run $ benchmark_opt_arg $ seed_arg $ algo_arg $ deadline_arg $ file_arg)
+
+let csv_cmd =
+  let which =
+    Arg.(required & pos 0 (some (enum [ ("table1", `T1); ("table2", `T2) ])) None
+         & info [] ~docv:"TABLE" ~doc:"table1 or table2")
+  in
+  let run which =
+    let reports =
+      match which with
+      | `T1 -> Core.Experiments.table1 ()
+      | `T2 -> Core.Experiments.table2 ()
+    in
+    print_string (Core.Csv.of_reports reports)
+  in
+  Cmd.v (Cmd.info "csv" ~doc:"Emit Table 1 or Table 2 as CSV") Term.(const run $ which)
+
+let () =
+  let info =
+    Cmd.info "hetsched"
+      ~doc:"Heterogeneous FU assignment and scheduling for real-time DSP"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; dot_cmd; synth_cmd; frontier_cmd; netlist_cmd; csv_cmd; compile_cmd; gantt_cmd; analyze_cmd ]))

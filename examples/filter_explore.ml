@@ -1,0 +1,47 @@
+(* Cost/deadline frontier exploration: sweep the timing constraint on one of
+   the paper's benchmark filters and print, for each algorithm, the system
+   cost and the FU configuration the minimum-resource scheduler settles on.
+   This is how a designer would pick an operating point.
+
+   Run with: dune exec examples/filter_explore.exe [benchmark]
+   (default benchmark: rls-laguerre) *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "rls-laguerre" in
+  let graph =
+    match List.assoc_opt name (Workloads.Filters.all ()) with
+    | Some g -> g
+    | None ->
+        Printf.eprintf "unknown benchmark %S; known: %s\n" name
+          (String.concat ", " (List.map fst (Workloads.Filters.all ())));
+        exit 2
+  in
+  let rng = Workloads.Prng.create 2004 in
+  let table = Workloads.Tables.for_graph rng ~library:Fulib.Library.standard3 graph in
+  let tmin = Core.Synthesis.min_deadline graph table in
+  Printf.printf "%s: %d nodes, minimum feasible deadline %d\n\n" name
+    (Dfg.Graph.num_nodes graph) tmin;
+  Printf.printf "%6s  %22s  %22s  %22s\n" "T" "Greedy" "Repeat" "Repeat config (lb)";
+  for step = 0 to 10 do
+    let deadline = tmin + (step * (1 + (tmin / 10))) in
+    let cost algo =
+      match Core.Synthesis.assign algo graph table ~deadline with
+      | Some a -> Printf.sprintf "%d" (Assign.Assignment.total_cost table a)
+      | None -> "-"
+    in
+    let config =
+      match Core.Synthesis.run Core.Synthesis.Repeat graph table ~deadline with
+      | Some r ->
+          Printf.sprintf "%s (%s)"
+            (Sched.Config.to_string r.Core.Synthesis.config)
+            (Sched.Config.to_string r.Core.Synthesis.lower_bound)
+      | None -> "-"
+    in
+    Printf.printf "%6d  %22s  %22s  %22s\n" deadline
+      (cost Core.Synthesis.Greedy)
+      (cost Core.Synthesis.Repeat)
+      config
+  done;
+  print_newline ();
+  print_endline "DOT rendering of the DFG (pipe to `dot -Tpng`):";
+  print_endline (Dfg.Dot.to_dot graph)

@@ -1,0 +1,46 @@
+(* The hardware engineer's view of a synthesis result: Gantt chart of the
+   bound schedule, register demand, interconnect statistics, and the effect
+   of a pipelined multiplier class and of a fixed FU inventory.
+
+   Run with: dune exec examples/hardware_view.exe *)
+
+let () =
+  let graph = Workloads.Filters.diffeq () in
+  let rng = Workloads.Prng.create 2027 in
+  let table = Workloads.Tables.for_graph rng ~library:Fulib.Library.standard3 graph in
+  let deadline = Core.Synthesis.min_deadline graph table + 4 in
+  match Core.Synthesis.run Core.Synthesis.Repeat graph table ~deadline with
+  | None -> print_endline "infeasible"
+  | Some r ->
+      Printf.printf "diffeq at T = %d: cost %d, config %s\n\n" deadline
+        r.Core.Synthesis.cost
+        (Sched.Config.to_string r.Core.Synthesis.config);
+      print_endline "Gantt (rows = FU instances, columns = control steps):";
+      print_string (Sched.Gantt.render ~graph ~table r.Core.Synthesis.schedule);
+      let registers = Sched.Registers.max_live graph table r.Core.Synthesis.schedule in
+      let dp = Rtl.Datapath.build graph table r.Core.Synthesis.schedule in
+      let ic = Rtl.Datapath.interconnect dp in
+      Printf.printf
+        "\nregisters: %d (left-edge shared)   interconnect: %d muxes, %d inputs\n"
+        registers ic.Rtl.Datapath.mux_count ic.Rtl.Datapath.mux_inputs;
+      (* pipelined multipliers: P1 as a pipelined class *)
+      let pipelined t = t = 0 in
+      (match
+         Sched.Min_resource.run ~pipelined graph table
+           r.Core.Synthesis.assignment ~deadline
+       with
+      | Some { Sched.Min_resource.config; _ } ->
+          Printf.printf
+            "\nwith a pipelined (II = 1) P1 class, the same assignment fits %s\n"
+            (Sched.Config.to_string config)
+      | None -> ());
+      (* fixed inventory: a single FU of each type *)
+      let inventory = Array.make 3 1 in
+      (match Core.Config_aware.solve graph table ~deadline ~inventory with
+      | Some fit ->
+          Printf.printf
+            "\nforced into inventory 1-1-1: cost %d (unconstrained %d)\n"
+            fit.Core.Config_aware.cost r.Core.Synthesis.cost;
+          print_string (Sched.Gantt.render ~graph ~table fit.Core.Config_aware.schedule)
+      | None ->
+          Printf.printf "\ninventory 1-1-1 cannot meet T = %d\n" deadline)

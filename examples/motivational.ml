@@ -1,0 +1,8 @@
+(* The paper's Section-2 motivating example (Figures 1-3): the same DFG
+   under two assignments, showing the cost gap between a greedy choice and
+   the optimum, and the FU savings of minimum-resource scheduling over the
+   naive one-FU-per-node configuration.
+
+   Run with: dune exec examples/motivational.exe *)
+
+let () = print_endline (Core.Experiments.motivational ())

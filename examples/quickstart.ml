@@ -1,0 +1,45 @@
+(* Quickstart: describe a tiny DSP kernel, give each operation a choice of
+   heterogeneous FU types, and run the full two-phase synthesis — cost-
+   minimal assignment under a timing constraint, then a schedule and FU
+   configuration using as little hardware as possible.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* 1. The application: y = a*x + b*x + c, a 5-operation data-flow graph. *)
+  let b = Dfg.Builder.create () in
+  let ax = Dfg.Builder.add_node b ~name:"a*x" ~op:"mul" in
+  let bx = Dfg.Builder.add_node b ~name:"b*x" ~op:"mul" in
+  let sum = Dfg.Builder.add_node b ~name:"sum" ~op:"add" in
+  let plus_c = Dfg.Builder.add_node b ~name:"+c" ~op:"add" in
+  let round = Dfg.Builder.add_node b ~name:"round" ~op:"comp" in
+  Dfg.Builder.add_edge b ~src:ax ~dst:sum;
+  Dfg.Builder.add_edge b ~src:bx ~dst:sum;
+  Dfg.Builder.add_edge b ~src:sum ~dst:plus_c;
+  Dfg.Builder.add_edge b ~src:plus_c ~dst:round;
+  let graph = Dfg.Builder.finish b in
+
+  (* 2. The FU library: P1 fast and power-hungry ... P3 slow and frugal.
+     Per node: execution time / energy cost on each type. *)
+  let table =
+    Fulib.Table.make ~library:Fulib.Library.standard3
+      ~time:
+        [| [| 2; 3; 5 |]; [| 2; 4; 6 |]; [| 1; 2; 3 |]; [| 1; 2; 3 |]; [| 1; 1; 2 |] |]
+      ~cost:
+        [| [| 12; 7; 2 |]; [| 14; 8; 3 |]; [| 6; 3; 1 |]; [| 6; 3; 1 |]; [| 4; 2; 1 |] |]
+  in
+
+  (* 3. Synthesize under a timing constraint. *)
+  let deadline = 11 in
+  Printf.printf "timing constraint: %d steps (minimum possible: %d)\n\n"
+    deadline
+    (Core.Synthesis.min_deadline graph table);
+  List.iter
+    (fun algo ->
+      match Core.Synthesis.run algo graph table ~deadline with
+      | None ->
+          Printf.printf "%s: infeasible\n" (Core.Synthesis.algorithm_name algo)
+      | Some r ->
+          Printf.printf "--- %s ---\n" (Core.Synthesis.algorithm_name algo);
+          Format.printf "%a@.@." (Core.Synthesis.pp_result ~graph ~table) r)
+    Core.Synthesis.[ Greedy; Repeat; Exact ]

@@ -1,0 +1,52 @@
+(* Reliability-driven assignment (paper §2): when the per-node cost is the
+   reliability cost t_k(v) * lambda_k — execution time times the FU type's
+   failure rate — minimising total cost maximises the probability that the
+   system completes an iteration without failure, since
+
+     P(no failure) = exp (- sum over nodes of t * lambda).
+
+   This example builds such a table for the differential-equation solver,
+   runs the assignment algorithms, and reports system reliability.
+
+   Run with: dune exec examples/reliability.exe *)
+
+let () =
+  let graph = Workloads.Filters.diffeq () in
+  let library = Fulib.Library.standard3 in
+  (* Failure rates per type, in failures per 10^6 time units: the fast type
+     is the least reliable — a genuine speed/reliability trade-off. *)
+  let lambda = [| 40; 12; 4 |] in
+  (* Execution times: the usual fast-to-slow spread, multiplies slower. *)
+  let rng = Workloads.Prng.create 99 in
+  let base = Workloads.Tables.for_graph rng ~library graph in
+  let n = Dfg.Graph.num_nodes graph in
+  let time =
+    Array.init n (fun v ->
+        Array.init 3 (fun k -> Fulib.Table.time base ~node:v ~ftype:k))
+  in
+  (* reliability cost = t * lambda (scaled), summed by the algorithms *)
+  let cost = Array.init n (fun v -> Array.init 3 (fun k -> time.(v).(k) * lambda.(k))) in
+  let table = Fulib.Table.make ~library ~time ~cost in
+  let tmin = Core.Synthesis.min_deadline graph table in
+  Printf.printf
+    "differential-equation solver, reliability-cost table (lambda = 40/12/4 per 1e6)\n\n";
+  Printf.printf "%6s  %12s %14s %14s %14s\n" "T" "algorithm" "rel. cost"
+    "P(no failure)" "makespan";
+  List.iter
+    (fun deadline ->
+      List.iter
+        (fun algo ->
+          match Core.Synthesis.assign algo graph table ~deadline with
+          | None ->
+              Printf.printf "%6d  %12s %14s %14s %14s\n" deadline
+                (Core.Synthesis.algorithm_name algo) "-" "-" "-"
+          | Some a ->
+              let c = Assign.Assignment.total_cost table a in
+              let reliability = exp (-.float_of_int c /. 1e6) in
+              Printf.printf "%6d  %12s %14d %14.6f %14d\n" deadline
+                (Core.Synthesis.algorithm_name algo)
+                c reliability
+                (Assign.Assignment.makespan graph table a))
+        Core.Synthesis.[ Greedy; Repeat; Exact ];
+      print_newline ())
+    [ tmin; tmin + (tmin / 4); tmin + (tmin / 2); tmin * 2 ]

@@ -1,0 +1,49 @@
+(* Soft real-time synthesis: when execution times are distributions (cache
+   effects, data-dependent loops), a hard worst-case deadline wastes energy
+   on improbable corner cases. This demo sweeps the success-probability
+   target theta on the differential-equation solver and shows the cost of
+   certainty.
+
+   Run with: dune exec examples/soft_realtime.exe *)
+
+module Srt = Assign.Soft_realtime
+
+let () =
+  let graph = Workloads.Filters.diffeq () in
+  let rng = Workloads.Prng.create 404 in
+  (* heavy-tailed times: each operation usually takes its nominal time but
+     doubles with probability 0.2 (e.g. a cache miss) *)
+  let base = Workloads.Tables.for_graph rng ~library:Fulib.Library.standard3 graph in
+  let n = Dfg.Graph.num_nodes graph in
+  let pt =
+    Srt.make ~library:Fulib.Library.standard3
+      ~time:
+        (Array.init n (fun v ->
+             Array.init 3 (fun t ->
+                 let nominal = Fulib.Table.time base ~node:v ~ftype:t in
+                 [ (nominal, 0.8); (2 * nominal, 0.2) ])))
+      ~cost:
+        (Array.init n (fun v ->
+             Array.init 3 (fun t -> Fulib.Table.cost base ~node:v ~ftype:t)))
+  in
+  let worst = Srt.worst_case_table pt in
+  let tmin = Assign.Assignment.min_makespan graph worst in
+  Printf.printf
+    "differential-equation solver, 2-point execution-time distributions\n";
+  Printf.printf "worst-case minimum deadline: %d\n\n" tmin;
+  List.iter
+    (fun deadline ->
+      Printf.printf "deadline %d:\n" deadline;
+      Printf.printf "%8s  %8s  %22s\n" "theta" "cost" "P(makespan <= T)";
+      List.iter
+        (fun theta ->
+          match Srt.solve graph pt ~theta ~deadline with
+          | None -> Printf.printf "%8.2f  %8s  %22s\n" theta "-" "infeasible"
+          | Some (_, cost, p) ->
+              Printf.printf "%8.2f  %8d  %22.4f\n" theta cost p)
+        [ 0.5; 0.7; 0.8; 0.9; 0.95; 0.99; 1.0 ];
+      print_newline ())
+    [ (2 * tmin) / 3; (3 * tmin) / 4; tmin ];
+  print_endline
+    "Lower theta admits cheaper assignments that occasionally overrun;\n\
+     theta = 1 recovers the hard-real-time (worst-case) design."

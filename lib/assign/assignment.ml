@@ -1,0 +1,45 @@
+type t = int array
+
+let validate g table a =
+  let n = Dfg.Graph.num_nodes g in
+  if Fulib.Table.num_nodes table <> n then
+    invalid_arg "Assignment: table/graph size mismatch";
+  if Array.length a <> n then invalid_arg "Assignment: wrong length";
+  let k = Fulib.Table.num_types table in
+  Array.iter
+    (fun ftype ->
+      if ftype < 0 || ftype >= k then
+        invalid_arg "Assignment: FU type out of range")
+    a
+
+let total_cost table a =
+  let sum = ref 0 in
+  Array.iteri
+    (fun node ftype -> sum := !sum + Fulib.Table.cost table ~node ~ftype)
+    a;
+  !sum
+
+let makespan g table a =
+  Dfg.Paths.longest_path g ~weight:(fun node ->
+      Fulib.Table.time table ~node ~ftype:a.(node))
+
+let is_feasible g table a ~deadline = makespan g table a <= deadline
+
+let all_fastest table =
+  Array.init (Fulib.Table.num_nodes table) (Fulib.Table.min_time_type table)
+
+let all_cheapest table =
+  Array.init (Fulib.Table.num_nodes table) (Fulib.Table.min_cost_type table)
+
+let min_makespan g table =
+  Dfg.Paths.longest_path g ~weight:(Fulib.Table.min_time table)
+
+let pp ~names ~library ppf a =
+  Format.fprintf ppf "@[<hov 2>";
+  Array.iteri
+    (fun v ftype ->
+      if v > 0 then Format.fprintf ppf "@ ";
+      Format.fprintf ppf "%s:%s" names.(v)
+        (Fulib.Library.type_name library ftype))
+    a;
+  Format.fprintf ppf "@]"

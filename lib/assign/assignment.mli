@@ -1,0 +1,34 @@
+(** FU-type assignments and their evaluation.
+
+    An assignment maps every node of a DFG to an FU-type index of the
+    table's library. The {e system cost} is the sum of node execution costs;
+    an assignment is feasible for deadline [T] when every critical path of
+    the DAG portion takes at most [T] time units. *)
+
+type t = int array
+
+(** [total_cost table a] is the sum over nodes of the assigned cost. *)
+val total_cost : Fulib.Table.t -> t -> int
+
+(** [makespan g table a] is the longest critical-path execution time under
+    the assigned node times. *)
+val makespan : Dfg.Graph.t -> Fulib.Table.t -> t -> int
+
+val is_feasible : Dfg.Graph.t -> Fulib.Table.t -> t -> deadline:int -> bool
+
+(** Assign every node its fastest type (ties to the lower index). *)
+val all_fastest : Fulib.Table.t -> t
+
+(** Assign every node its cheapest type (ties to the lower index). *)
+val all_cheapest : Fulib.Table.t -> t
+
+(** [min_makespan g table] is the smallest deadline any assignment can meet:
+    the longest critical path under per-node minimum times. *)
+val min_makespan : Dfg.Graph.t -> Fulib.Table.t -> int
+
+(** [validate g table a] raises [Invalid_argument] when [a]'s length or type
+    indices do not match. *)
+val validate : Dfg.Graph.t -> Fulib.Table.t -> t -> unit
+
+(** Print as [v0:P2 v1:P1 ...]. *)
+val pp : names:string array -> library:Fulib.Library.t -> Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+(** Beam-search assignment — an extension heuristic between the greedy
+    baseline and the exact branch-and-bound.
+
+    Nodes are assigned in topological order; after each node the [width]
+    most promising partial assignments survive, ranked by an admissible
+    estimate (cost so far plus the sum of remaining per-node minimum
+    costs). Partial assignments whose optimistic makespan (assigned times,
+    minimum times elsewhere) already exceeds the deadline are discarded,
+    so every completed assignment is feasible.
+
+    [width = 1] degenerates to a cost-greedy sweep; growing [width]
+    converges on the exact optimum at exponential cost. *)
+
+(** [solve ?width g table ~deadline] (default width 16). [None] exactly
+    when the deadline is below the minimum makespan. *)
+val solve :
+  ?width:int ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  deadline:int ->
+  (Assignment.t * int) option

@@ -1,0 +1,113 @@
+type orientation = Forward | Transposed
+
+let expand_oriented ?max_nodes orientation g =
+  match orientation with
+  | Forward -> Dfg.Expand.expand ?max_nodes g
+  | Transposed -> Dfg.Expand.expand ?max_nodes (Dfg.Transpose.transpose g)
+
+let choose_tree ?max_nodes g =
+  let forward = expand_oriented ?max_nodes Forward g in
+  let transposed = expand_oriented ?max_nodes Transposed g in
+  if
+    Dfg.Graph.num_nodes forward.Dfg.Expand.graph
+    <= Dfg.Graph.num_nodes transposed.Dfg.Expand.graph
+  then (Forward, forward)
+  else (Transposed, transposed)
+
+(* Among the tree copies of original node [v], pick the type with minimum
+   execution time; break ties toward lower cost, then lower type index, so
+   the choice is deterministic. *)
+let min_time_choice table tree_assignment copies v =
+  let better t t' =
+    let time ty = Fulib.Table.time table ~node:v ~ftype:ty in
+    let cost ty = Fulib.Table.cost table ~node:v ~ftype:ty in
+    if time t' < time t then t'
+    else if time t' = time t && (cost t' < cost t || (cost t' = cost t && t' < t))
+    then t'
+    else t
+  in
+  match copies with
+  | [] -> invalid_arg "Dfg_assign: node without copies"
+  | c :: rest ->
+      List.fold_left
+        (fun acc c' -> better acc tree_assignment.(c'))
+        tree_assignment.(c) rest
+
+let solve_on_tree tree table ~deadline =
+  let tree_table = Fulib.Table.project table ~origin:tree.Dfg.Expand.origin in
+  Tree_assign.solve tree.Dfg.Expand.graph tree_table ~deadline
+
+let once_on_tree tree g table ~deadline =
+  match solve_on_tree tree table ~deadline with
+  | None -> None
+  | Some ta ->
+      let n = Dfg.Graph.num_nodes g in
+      let a = Array.make n 0 in
+      for v = 0 to n - 1 do
+        a.(v) <- min_time_choice table ta tree.Dfg.Expand.copies.(v) v
+      done;
+      Some a
+
+let once_oriented ?max_nodes orientation g table ~deadline =
+  let tree = expand_oriented ?max_nodes orientation g in
+  once_on_tree tree g table ~deadline
+
+let once ?max_nodes g table ~deadline =
+  let _, tree = choose_tree ?max_nodes g in
+  once_on_tree tree g table ~deadline
+
+let repeat_with_order ?max_nodes ~order g table ~deadline =
+  let _, tree = choose_tree ?max_nodes g in
+  let dups = Dfg.Expand.duplicated_nodes tree in
+  let dups =
+    match order with
+    | `By_id -> dups
+    | `By_copies ->
+        (* Greatest copy count first; stable on ties (ascending id). *)
+        List.stable_sort
+          (fun u v ->
+            compare (Dfg.Expand.copy_count tree v) (Dfg.Expand.copy_count tree u))
+          dups
+    | `Reverse ->
+        List.rev
+          (List.stable_sort
+             (fun u v ->
+               compare
+                 (Dfg.Expand.copy_count tree v)
+                 (Dfg.Expand.copy_count tree u))
+             dups)
+  in
+  let n = Dfg.Graph.num_nodes g in
+  let a = Array.make n (-1) in
+  let exception Infeasible in
+  try
+    let tree_table =
+      ref (Fulib.Table.project table ~origin:tree.Dfg.Expand.origin)
+    in
+    List.iter
+      (fun v ->
+        match
+          Tree_assign.solve tree.Dfg.Expand.graph !tree_table ~deadline
+        with
+        | None -> raise Infeasible
+        | Some ta ->
+            let t = min_time_choice table ta tree.Dfg.Expand.copies.(v) v in
+            a.(v) <- t;
+            List.iter
+              (fun copy -> tree_table := Fulib.Table.pin !tree_table ~node:copy ~ftype:t)
+              tree.Dfg.Expand.copies.(v))
+      dups;
+    match Tree_assign.solve tree.Dfg.Expand.graph !tree_table ~deadline with
+    | None -> raise Infeasible
+    | Some ta ->
+        for v = 0 to n - 1 do
+          if a.(v) < 0 then
+            match tree.Dfg.Expand.copies.(v) with
+            | [ c ] -> a.(v) <- ta.(c)
+            | copies -> a.(v) <- min_time_choice table ta copies v
+        done;
+        Some a
+  with Infeasible -> None
+
+let repeat ?max_nodes g table ~deadline =
+  repeat_with_order ?max_nodes ~order:`By_copies g table ~deadline

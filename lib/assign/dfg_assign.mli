@@ -1,0 +1,59 @@
+(** [DFG_Assign_Once] and [DFG_Assign_Repeat] — heuristics for general DFGs
+    (paper §5.3).
+
+    Both expand the DFG (or its transpose, whichever yields the smaller
+    critical-path tree) with {!Dfg.Expand}, solve the tree optimally with
+    {!Tree_assign}, and then reconcile the copies of duplicated nodes:
+
+    - {e Once} assigns each duplicated node the minimum-execution-time type
+      among its copies' assignments, in a single pass. This is always
+      timing-safe, since shortening a node only shortens paths.
+    - {e Repeat} fixes duplicated nodes one at a time — most-copied first —
+      pinning each fixed node's time/cost in the tree and re-running
+      [Tree_assign], so later decisions exploit the slack freed (or
+      consumed) by earlier ones.
+
+    On a DFG that is already a tree there are no duplicated nodes and both
+    heuristics return the [Tree_assign] optimum. *)
+
+type orientation = Forward | Transposed
+
+(** The tree both heuristics work on: the smaller of [expand g] and
+    [expand (transpose g)] (ties prefer [Forward]). Critical-path sums are
+    orientation-invariant, so either is sound. *)
+val choose_tree : ?max_nodes:int -> Dfg.Graph.t -> orientation * Dfg.Expand.tree
+
+val once :
+  ?max_nodes:int ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  deadline:int ->
+  Assignment.t option
+
+val repeat :
+  ?max_nodes:int ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  deadline:int ->
+  Assignment.t option
+
+(** [repeat_with_order] exposes the duplicated-node fixing order for
+    ablation: [`By_copies] is the paper's rule (greatest copy count first),
+    [`By_id] fixes in ascending node order, [`Reverse] in the paper's order
+    reversed. *)
+val repeat_with_order :
+  ?max_nodes:int ->
+  order:[ `By_copies | `By_id | `Reverse ] ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  deadline:int ->
+  Assignment.t option
+
+(** Run [once] on a fixed orientation (ablation of the smaller-tree rule). *)
+val once_oriented :
+  ?max_nodes:int ->
+  orientation ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  deadline:int ->
+  Assignment.t option

@@ -1,0 +1,32 @@
+(** The dual problem: minimise the makespan subject to a cost budget.
+
+    The paper minimises cost under a deadline; designers equally often have
+    an energy/price budget and want the fastest design inside it. Because
+    the optimal cost of the primal DPs is non-increasing in the deadline,
+    the dual is solved exactly by binary-searching the deadline over the
+    primal ({!via_binary_search}); a direct prefix DP over the cost
+    dimension ({!path_dp}) is provided for simple paths as an independent
+    cross-check. *)
+
+(** [via_binary_search ~solve ~lo ~hi ~budget] finds the smallest deadline
+    [T] in [lo..hi] whose optimal cost is within [budget], returning the
+    deadline and the witnessing assignment. [solve ~deadline] must be a
+    primal optimiser whose cost is non-increasing in the deadline (e.g.
+    {!Tree_assign.solve_with_cost}). [None] if even [hi] busts the budget. *)
+val via_binary_search :
+  solve:(deadline:int -> (Assignment.t * int) option) ->
+  lo:int ->
+  hi:int ->
+  budget:int ->
+  (int * Assignment.t) option
+
+(** [for_tree g table ~budget] — minimum feasible makespan of a forest (in
+    either orientation, as {!Tree_assign.solve_auto}) within the cost
+    budget. *)
+val for_tree :
+  Dfg.Graph.t -> Fulib.Table.t -> budget:int -> (int * Assignment.t) option
+
+(** [path_dp table ~budget] — direct DP for a simple path (nodes in index
+    order): [Y_i(c)] = minimum total execution time of the prefix with cost
+    at most [c]. Returns the minimum makespan and an assignment. *)
+val path_dp : Fulib.Table.t -> budget:int -> (int * Assignment.t) option

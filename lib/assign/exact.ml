@@ -1,0 +1,58 @@
+exception Budget_exhausted
+
+let solve ?(budget = 20_000_000) g table ~deadline =
+  let n = Dfg.Graph.num_nodes g in
+  let k = Fulib.Table.num_types table in
+  let order = Array.of_list (Dfg.Topo.sort g) in
+  let current = Array.make n 0 in
+  (* Suffix sums of per-node minimum costs over the branching order, for the
+     admissible cost bound. *)
+  let min_cost_suffix = Array.make (n + 1) 0 in
+  for i = n - 1 downto 0 do
+    min_cost_suffix.(i) <-
+      min_cost_suffix.(i + 1) + Fulib.Table.min_cost table order.(i)
+  done;
+  let best_cost = ref max_int in
+  let best = ref None in
+  let expanded = ref 0 in
+  let assigned = Array.make n false in
+  let time v =
+    if assigned.(v) then Fulib.Table.time table ~node:v ~ftype:current.(v)
+    else Fulib.Table.min_time table v
+  in
+  let types_by_cost v =
+    let ts = List.init k (fun t -> t) in
+    List.sort
+      (fun t t' ->
+        compare
+          (Fulib.Table.cost table ~node:v ~ftype:t)
+          (Fulib.Table.cost table ~node:v ~ftype:t'))
+      ts
+  in
+  let rec branch i cost_so_far =
+    incr expanded;
+    if !expanded > budget then raise Budget_exhausted;
+    if cost_so_far + min_cost_suffix.(i) >= !best_cost then ()
+    else if i = n then begin
+      best_cost := cost_so_far;
+      best := Some (Array.copy current)
+    end
+    else begin
+      let v = order.(i) in
+      List.iter
+        (fun t ->
+          current.(v) <- t;
+          assigned.(v) <- true;
+          let feasible = Dfg.Paths.longest_path g ~weight:time <= deadline in
+          if feasible then
+            branch (i + 1) (cost_so_far + Fulib.Table.cost table ~node:v ~ftype:t);
+          assigned.(v) <- false)
+        (types_by_cost v)
+    end
+  in
+  if n = 0 then Some ([||], 0)
+  else if Assignment.min_makespan g table > deadline then None
+  else begin
+    branch 0 0;
+    match !best with None -> None | Some a -> Some (a, !best_cost)
+  end

@@ -1,0 +1,25 @@
+(** Exact optimal assignment by branch and bound.
+
+    Stands in for the ILP model of Ito–Lucke–Parhi (TVLSI'98) that the paper
+    cites as the optimal-but-exponential reference (no MILP solver is
+    available offline). Nodes are branched in topological order, types tried
+    cheapest-first; a branch is pruned when (a) its cost plus the sum of
+    remaining per-node minimum costs reaches the incumbent, or (b) the
+    longest critical path with assigned times (minimum times for unassigned
+    nodes) already exceeds the deadline.
+
+    Exponential in the worst case — intended for validation on small DFGs
+    and for measuring heuristic gaps. *)
+
+exception Budget_exhausted
+(** Raised when the search exceeds its node-expansion budget. *)
+
+(** [solve ?budget g table ~deadline] returns an optimal assignment and its
+    cost, [None] when infeasible. [budget] (default [20_000_000]) bounds the
+    number of search-tree nodes expanded. *)
+val solve :
+  ?budget:int ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  deadline:int ->
+  (Assignment.t * int) option

@@ -1,0 +1,86 @@
+(* Worst critical path through [v] if its execution time became [dt],
+   everything else unchanged: only paths through [v] move. [longest_to] and
+   [longest_from] each include v's own time, so the current worst path
+   through v is to + from - t, and with the new time it is
+   to + from - 2t + dt. *)
+let path_through into out_of time v dt =
+  into.(v) + out_of.(v) - (2 * time v) + dt
+
+let solve_with_cost g table ~deadline =
+  let n = Dfg.Graph.num_nodes g in
+  let k = Fulib.Table.num_types table in
+  let a = Assignment.all_fastest table in
+  if not (Assignment.is_feasible g table a ~deadline) then None
+  else begin
+    let time v = Fulib.Table.time table ~node:v ~ftype:a.(v) in
+    (* One naive pass in node order: each node takes its cheapest type that
+       keeps the paths through it within the deadline, given the other
+       nodes' current types. Early nodes grab the slack first — the
+       "simple heuristic [that] may not produce the good result" the paper
+       compares against. *)
+    let order = List.init n (fun i -> i) in
+    List.iter
+      (fun v ->
+        let into = Dfg.Paths.longest_to g ~weight:time in
+        let out_of = Dfg.Paths.longest_from g ~weight:time in
+        let best = ref a.(v) in
+        for t = 0 to k - 1 do
+          let dt = Fulib.Table.time table ~node:v ~ftype:t in
+          if
+            path_through into out_of time v dt <= deadline
+            && Fulib.Table.cost table ~node:v ~ftype:t
+               < Fulib.Table.cost table ~node:v ~ftype:!best
+          then best := t
+        done;
+        a.(v) <- !best)
+      order;
+    Some (a, Assignment.total_cost table a)
+  end
+
+let solve g table ~deadline =
+  Option.map fst (solve_with_cost g table ~deadline)
+
+let solve_iterative_with_cost g table ~deadline =
+  let n = Dfg.Graph.num_nodes g in
+  let k = Fulib.Table.num_types table in
+  let a = Assignment.all_fastest table in
+  if not (Assignment.is_feasible g table a ~deadline) then None
+  else begin
+    let time v = Fulib.Table.time table ~node:v ~ftype:a.(v) in
+    let cost v = Fulib.Table.cost table ~node:v ~ftype:a.(v) in
+    let rec improve () =
+      let into = Dfg.Paths.longest_to g ~weight:time in
+      let out_of = Dfg.Paths.longest_from g ~weight:time in
+      (* Best single move by cost reduction per unit of slack consumed; a
+         move that is cheaper and no slower wins outright. *)
+      let best = ref None in
+      for v = 0 to n - 1 do
+        for t = 0 to k - 1 do
+          if t <> a.(v) then begin
+            let dt = Fulib.Table.time table ~node:v ~ftype:t in
+            let dc = Fulib.Table.cost table ~node:v ~ftype:t in
+            let gain = cost v - dc in
+            if gain > 0 && path_through into out_of time v dt <= deadline
+            then begin
+              let score =
+                float_of_int gain /. float_of_int (max 1 (dt - time v))
+              in
+              match !best with
+              | Some (s, _, _) when s >= score -> ()
+              | _ -> best := Some (score, v, t)
+            end
+          end
+        done
+      done;
+      match !best with
+      | None -> ()
+      | Some (_, v, t) ->
+          a.(v) <- t;
+          improve ()
+    in
+    improve ();
+    Some (a, Assignment.total_cost table a)
+  end
+
+let solve_iterative g table ~deadline =
+  Option.map fst (solve_iterative_with_cost g table ~deadline)

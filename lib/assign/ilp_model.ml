@@ -1,0 +1,67 @@
+let num_binaries g table =
+  Dfg.Graph.num_nodes g * Fulib.Table.num_types table
+
+let to_lp g table ~deadline =
+  let n = Dfg.Graph.num_nodes g in
+  let k = Fulib.Table.num_types table in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "\\ Heterogeneous assignment ILP (Ito-Lucke-Parhi style)\n";
+  add "\\ deadline = %d\n" deadline;
+  for v = 0 to n - 1 do
+    add "\\ node %d = %s (%s)\n" v (Dfg.Graph.name g v) (Dfg.Graph.op g v)
+  done;
+  add "Minimize\n obj:";
+  let first = ref true in
+  for v = 0 to n - 1 do
+    for t = 0 to k - 1 do
+      let c = Fulib.Table.cost table ~node:v ~ftype:t in
+      add "%s %d x_%d_%d" (if !first then "" else " +") c v t;
+      first := false
+    done
+  done;
+  add "\nSubject To\n";
+  for v = 0 to n - 1 do
+    add " one_%d:" v;
+    for t = 0 to k - 1 do
+      add "%s x_%d_%d" (if t = 0 then "" else " +") v t
+    done;
+    add " = 1\n"
+  done;
+  for v = 0 to n - 1 do
+    (* finish-time lower bound: own execution time plus the latest
+       zero-delay predecessor finish *)
+    let own t = Fulib.Table.time table ~node:v ~ftype:t in
+    add " start_%d: f_%d" v v;
+    for t = 0 to k - 1 do
+      add " - %d x_%d_%d" (own t) v t
+    done;
+    add " >= 0\n";
+    List.iter
+      (fun u ->
+        add " prec_%d_%d: f_%d - f_%d" u v v u;
+        for t = 0 to k - 1 do
+          add " - %d x_%d_%d" (own t) v t
+        done;
+        add " >= 0\n")
+      (Dfg.Graph.dag_preds g v);
+    add " dead_%d: f_%d <= %d\n" v v deadline
+  done;
+  add "Bounds\n";
+  for v = 0 to n - 1 do
+    add " 0 <= f_%d\n" v
+  done;
+  add "Binaries\n";
+  for v = 0 to n - 1 do
+    for t = 0 to k - 1 do
+      add " x_%d_%d" v t
+    done
+  done;
+  add "\nEnd\n";
+  Buffer.contents buf
+
+let check_assignment g table ~deadline a =
+  (* the model's constraints reduce to: finish times defined by the longest
+     predecessor chain stay within the deadline *)
+  Assignment.validate g table a;
+  Assignment.is_feasible g table a ~deadline

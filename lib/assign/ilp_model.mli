@@ -1,0 +1,33 @@
+(** The ILP formulation of the heterogeneous assignment problem, after
+    Ito–Lucke–Parhi (cited by the paper as the optimal-but-exponential
+    reference), emitted in CPLEX-LP text format.
+
+    No MILP solver ships in this repository (sealed environment), so the
+    model is an artefact: it documents the formulation, can be fed to any
+    external solver, and is validated structurally by the tests while
+    {!Exact} plays the optimal-reference role at run time.
+
+    Variables: binary [x_v_k] (node [v] uses type [k]) and continuous
+    [f_v >= 0] (finish time of [v]). Constraints:
+    - one type per node: [sum_k x_v_k = 1];
+    - timing: [f_v >= sum_k t_vk x_v_k] for roots and
+      [f_v - f_u - sum_k t_vk x_v_k >= 0] per zero-delay edge [u -> v];
+    - deadline: [f_v <= T] for every node.
+
+    Objective: minimise [sum_{v,k} c_vk x_v_k]. *)
+
+(** [to_lp g table ~deadline] renders the model. Variable names use node
+    indices ([x_3_1], [f_3]) to stay solver-safe regardless of node
+    names; a comment header maps indices to names. *)
+val to_lp : Dfg.Graph.t -> Fulib.Table.t -> deadline:int -> string
+
+(** Number of binary variables of the model ([n * K]) — exposed so tests
+    and reports can state the model size the paper's run-time argument is
+    about. *)
+val num_binaries : Dfg.Graph.t -> Fulib.Table.t -> int
+
+(** [check_assignment g table ~deadline a] verifies that an assignment
+    satisfies every constraint of the model (used to cross-validate the
+    emitter against {!Assignment.is_feasible}). *)
+val check_assignment :
+  Dfg.Graph.t -> Fulib.Table.t -> deadline:int -> Assignment.t -> bool

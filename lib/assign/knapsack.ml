@@ -1,0 +1,37 @@
+type item = { value : int; weight : int }
+
+let check items =
+  Array.iter
+    (fun { value; weight } ->
+      if value < 0 || weight < 0 then
+        invalid_arg "Knapsack: negative value or weight")
+    items
+
+let solve ~items ~capacity =
+  check items;
+  let capacity = max capacity 0 in
+  let n = Array.length items in
+  let best = Array.make_matrix (n + 1) (capacity + 1) 0 in
+  for i = 1 to n do
+    let { value; weight } = items.(i - 1) in
+    for w = 0 to capacity do
+      best.(i).(w) <-
+        (if weight <= w then
+           max best.(i - 1).(w) (best.(i - 1).(w - weight) + value)
+         else best.(i - 1).(w))
+    done
+  done;
+  let chosen = Array.make n false in
+  let w = ref capacity in
+  for i = n downto 1 do
+    if best.(i).(!w) <> best.(i - 1).(!w) then begin
+      chosen.(i - 1) <- true;
+      w := !w - items.(i - 1).weight
+    end
+  done;
+  (chosen, best.(n).(capacity))
+
+let max_value ~items ~capacity = snd (solve ~items ~capacity)
+
+let decision ~items ~capacity ~target_value =
+  max_value ~items ~capacity >= target_value

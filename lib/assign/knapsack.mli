@@ -1,0 +1,17 @@
+(** 0-1 Knapsack — the problem the paper reduces from in its NP-completeness
+    proof (Theorem 4.1), implemented exactly so the reduction can be tested
+    in both directions. *)
+
+type item = { value : int; weight : int }
+
+(** [max_value ~items ~capacity] is the best total value within the weight
+    capacity (standard [O(n * capacity)] DP). Items must have non-negative
+    values and weights. *)
+val max_value : items:item array -> capacity:int -> int
+
+(** [solve ~items ~capacity] additionally returns the chosen subset. *)
+val solve : items:item array -> capacity:int -> bool array * int
+
+(** The decision problem: is there a subset with total weight [<= capacity]
+    and total value [>= target_value]? *)
+val decision : items:item array -> capacity:int -> target_value:int -> bool

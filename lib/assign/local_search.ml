@@ -1,0 +1,54 @@
+let refine g table ~deadline ~seed ?(steps = 2000) ?(initial_temperature = 10.0)
+    ?(cooling = 0.995) start =
+  Assignment.validate g table start;
+  if not (Assignment.is_feasible g table start ~deadline) then
+    invalid_arg "Local_search.refine: starting assignment is infeasible";
+  let n = Dfg.Graph.num_nodes g in
+  let k = Fulib.Table.num_types table in
+  let rng = Rng.Prng.create seed in
+  let a = Array.copy start in
+  let time v = Fulib.Table.time table ~node:v ~ftype:a.(v) in
+  let cost v = Fulib.Table.cost table ~node:v ~ftype:a.(v) in
+  let into = ref (Dfg.Paths.longest_to g ~weight:time) in
+  let out_of = ref (Dfg.Paths.longest_from g ~weight:time) in
+  let refresh () =
+    into := Dfg.Paths.longest_to g ~weight:time;
+    out_of := Dfg.Paths.longest_from g ~weight:time
+  in
+  let best = Array.copy a in
+  let best_cost = ref (Assignment.total_cost table a) in
+  let current_cost = ref !best_cost in
+  let temperature = ref initial_temperature in
+  if n > 0 && k > 1 then
+    for _ = 1 to steps do
+      let v = Rng.Prng.int rng n in
+      let t = Rng.Prng.int rng k in
+      if t <> a.(v) then begin
+        let dt = Fulib.Table.time table ~node:v ~ftype:t in
+        (* to and from each include v's own time: see Greedy.path_through *)
+        let through = !into.(v) + !out_of.(v) - (2 * time v) + dt in
+        if through <= deadline then begin
+          let delta = Fulib.Table.cost table ~node:v ~ftype:t - cost v in
+          let accept =
+            delta <= 0
+            || Rng.Prng.float rng < exp (-.float_of_int delta /. !temperature)
+          in
+          if accept then begin
+            a.(v) <- t;
+            current_cost := !current_cost + delta;
+            refresh ();
+            if !current_cost < !best_cost then begin
+              best_cost := !current_cost;
+              Array.blit a 0 best 0 n
+            end
+          end
+        end
+      end;
+      temperature := Float.max 1e-3 (!temperature *. cooling)
+    done;
+  best
+
+let repeat_plus g table ~deadline ~seed =
+  match Dfg_assign.repeat g table ~deadline with
+  | None -> None
+  | Some a -> Some (refine g table ~deadline ~seed a)

@@ -1,0 +1,92 @@
+let infeasible = max_int
+
+(* Run the prefix DP. Returns every row plus the per-node choice matrix used
+   by the traceback. *)
+let dp table ~deadline =
+  let n = Fulib.Table.num_nodes table in
+  let k = Fulib.Table.num_types table in
+  let prev = Array.make (deadline + 1) 0 in
+  let choice = Array.make_matrix n (deadline + 1) (-1) in
+  let row = Array.make (deadline + 1) infeasible in
+  let rows = Array.make n [||] in
+  for i = 0 to n - 1 do
+    Array.fill row 0 (deadline + 1) infeasible;
+    for j = 0 to deadline do
+      for t = 0 to k - 1 do
+        let dt = Fulib.Table.time table ~node:i ~ftype:t in
+        if j - dt >= 0 && prev.(j - dt) <> infeasible then begin
+          let c = prev.(j - dt) + Fulib.Table.cost table ~node:i ~ftype:t in
+          if c < row.(j) then begin
+            row.(j) <- c;
+            choice.(i).(j) <- t
+          end
+        end
+      done
+    done;
+    rows.(i) <- Array.copy row;
+    Array.blit row 0 prev 0 (deadline + 1)
+  done;
+  (rows, choice)
+
+let solve_with_cost table ~deadline =
+  if deadline < 0 then None
+  else begin
+    let n = Fulib.Table.num_nodes table in
+    if n = 0 then Some ([||], 0)
+    else begin
+      let rows, choice = dp table ~deadline in
+      if rows.(n - 1).(deadline) = infeasible then None
+      else begin
+        let a = Array.make n 0 in
+        (* Walk back from the full budget: node i was chosen at the budget
+           left after its suffix; subtract its time to find node i-1's. *)
+        let budget = ref deadline in
+        for i = n - 1 downto 0 do
+          let t = choice.(i).(!budget) in
+          a.(i) <- t;
+          budget := !budget - Fulib.Table.time table ~node:i ~ftype:t
+        done;
+        Some (a, rows.(n - 1).(deadline))
+      end
+    end
+  end
+
+let solve table ~deadline =
+  Option.map fst (solve_with_cost table ~deadline)
+
+let cost_profile table ~deadline =
+  let n = Fulib.Table.num_nodes table in
+  if n = 0 then Array.make (max deadline 0 + 1) 0
+  else
+    let rows, _ = dp table ~deadline:(max deadline 0) in
+    rows.(n - 1)
+
+(* Extract the unique path order of a graph that is a simple path: one root,
+   each node at most one zero-delay child. *)
+let path_order g =
+  let n = Dfg.Graph.num_nodes g in
+  match Dfg.Graph.roots g with
+  | [ root ] when n > 0 ->
+      let rec follow v acc len =
+        match Dfg.Graph.dag_succs g v with
+        | [] -> (List.rev (v :: acc), len + 1)
+        | [ w ] -> follow w (v :: acc) (len + 1)
+        | _ :: _ :: _ -> invalid_arg "Path_assign: node with several children"
+      in
+      let order, len = follow root [] 0 in
+      if len <> n then invalid_arg "Path_assign: graph is not connected path";
+      order
+  | [] when n = 0 -> []
+  | _ -> invalid_arg "Path_assign: graph does not have exactly one root"
+
+let solve_graph g table ~deadline =
+  let order = Array.of_list (path_order g) in
+  let reordered =
+    Fulib.Table.project table ~origin:order
+  in
+  match solve_with_cost reordered ~deadline with
+  | None -> None
+  | Some (a, _) ->
+      let out = Array.make (Dfg.Graph.num_nodes g) 0 in
+      Array.iteri (fun i v -> out.(v) <- a.(i)) order;
+      Some out

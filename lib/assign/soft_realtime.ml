@@ -1,0 +1,188 @@
+type dist = (int * float) list
+
+type ptable = {
+  library : Fulib.Library.t;
+  time : dist array array;
+  cost : int array array;
+}
+
+let validate_dist d =
+  if d = [] then invalid_arg "Soft_realtime: empty distribution";
+  let total =
+    List.fold_left
+      (fun acc (t, p) ->
+        if t < 1 then invalid_arg "Soft_realtime: time < 1";
+        if p <= 0.0 then invalid_arg "Soft_realtime: non-positive probability";
+        acc +. p)
+      0.0 d
+  in
+  if Float.abs (total -. 1.0) > 1e-6 then
+    invalid_arg "Soft_realtime: probabilities do not sum to 1"
+
+let make ~library ~time ~cost =
+  let k = Fulib.Library.num_types library in
+  if Array.length time <> Array.length cost then
+    invalid_arg "Soft_realtime.make: row count mismatch";
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then invalid_arg "Soft_realtime.make: row width";
+      Array.iter validate_dist row)
+    time;
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then invalid_arg "Soft_realtime.make: row width";
+      Array.iter (fun c -> if c < 0 then invalid_arg "Soft_realtime.make: negative cost") row)
+    cost;
+  {
+    library;
+    time = Array.map (Array.map (List.sort compare)) time;
+    cost = Array.map Array.copy cost;
+  }
+
+let library pt = pt.library
+let num_nodes pt = Array.length pt.time
+
+let quantile d q =
+  let rec walk acc = function
+    | [] -> invalid_arg "Soft_realtime: empty distribution"
+    | [ (t, _) ] -> t
+    | (t, p) :: rest -> if acc +. p >= q -. 1e-12 then t else walk (acc +. p) rest
+  in
+  walk 0.0 d
+
+let quantile_table pt ~q =
+  if q <= 0.0 || q > 1.0 then invalid_arg "Soft_realtime.quantile_table: q not in (0,1]";
+  let time = Array.map (Array.map (fun d -> quantile d q)) pt.time in
+  Fulib.Table.make ~library:pt.library ~time ~cost:pt.cost
+
+let worst_case_table pt = quantile_table pt ~q:1.0
+
+let total_cost pt a =
+  let sum = ref 0 in
+  Array.iteri (fun v t -> sum := !sum + pt.cost.(v).(t)) a;
+  !sum
+
+let makespan_with_times g times =
+  Dfg.Paths.longest_path g ~weight:(fun v -> times.(v))
+
+let success_probability_exact g pt a ~deadline =
+  let n = num_nodes pt in
+  let dists = Array.init n (fun v -> pt.time.(v).(a.(v))) in
+  let nondegenerate =
+    Array.fold_left (fun acc d -> if List.length d > 1 then acc + 1 else acc) 0 dists
+  in
+  if nondegenerate > 20 then
+    invalid_arg "Soft_realtime: too many probabilistic nodes for exact enumeration";
+  let times = Array.make n 0 in
+  let rec enumerate v p acc =
+    if p = 0.0 then acc
+    else if v = n then
+      if makespan_with_times g times <= deadline then acc +. p else acc
+    else
+      List.fold_left
+        (fun acc (t, pr) ->
+          times.(v) <- t;
+          enumerate (v + 1) (p *. pr) acc)
+        acc dists.(v)
+  in
+  enumerate 0 1.0 0.0
+
+let success_probability_mc g pt a ~deadline ~samples ~seed =
+  if samples < 1 then invalid_arg "Soft_realtime: samples < 1";
+  let n = num_nodes pt in
+  let rng = Rng.Prng.create seed in
+  let times = Array.make n 0 in
+  let draw d =
+    let u = Rng.Prng.float rng in
+    let rec walk acc = function
+      | [] -> invalid_arg "Soft_realtime: empty distribution"
+      | [ (t, _) ] -> t
+      | (t, p) :: rest -> if acc +. p >= u then t else walk (acc +. p) rest
+    in
+    walk 0.0 d
+  in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    for v = 0 to n - 1 do
+      times.(v) <- draw pt.time.(v).(a.(v))
+    done;
+    if makespan_with_times g times <= deadline then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+let solve g pt ~theta ~deadline =
+  if theta <= 0.0 || theta > 1.0 then
+    invalid_arg "Soft_realtime.solve: theta not in (0,1]";
+  let n = num_nodes pt in
+  let nondegenerate =
+    let count = ref 0 in
+    for v = 0 to n - 1 do
+      if Array.exists (fun d -> List.length d > 1) pt.time.(v) then incr count
+    done;
+    !count
+  in
+  let verify a =
+    if nondegenerate <= 16 then success_probability_exact g pt a ~deadline
+    else success_probability_mc g pt a ~deadline ~samples:4096 ~seed:7
+  in
+  (* two knobs, both conservative: the per-node quantile q of the
+     deterministic surrogate, and a shrunken surrogate deadline T' <= T
+     (safety margin). For each q (ascending pessimism) sweep T' downward —
+     the first verified hit is the cheapest found at that pessimism
+     level. *)
+  let grid =
+    List.sort_uniq compare
+      (List.filter (fun q -> q >= theta) [ theta; 0.8; 0.9; 0.95; 0.99; 1.0 ])
+  in
+  let grid = if grid = [] then [ 1.0 ] else grid in
+  let rec attempt_q = function
+    | [] -> None
+    | q :: rest -> (
+        let table = quantile_table pt ~q in
+        let floor_t = Assignment.min_makespan g table in
+        let rec sweep t' =
+          if t' < floor_t then None
+          else
+            match Dfg_assign.repeat g table ~deadline:t' with
+            | None -> None
+            | Some a ->
+                let p = verify a in
+                if p >= theta -. 1e-9 then Some (a, total_cost pt a, p)
+                else sweep (t' - 1)
+        in
+        match sweep deadline with
+        | Some result -> Some result
+        | None -> attempt_q rest)
+  in
+  attempt_q grid
+
+let random_ptable rng ~library g =
+  let k = Fulib.Library.num_types library in
+  let n = Dfg.Graph.num_nodes g in
+  let row v =
+    let base =
+      match Dfg.Graph.op g v with
+      | "mul" -> Rng.Prng.int_in rng 2 4
+      | _ -> Rng.Prng.int_in rng 1 2
+    in
+    let scale = ref base in
+    let time =
+      Array.init k (fun _ ->
+          let t = !scale in
+          scale := !scale + Rng.Prng.int_in rng 1 3;
+          let jitter = Rng.Prng.int_in rng 1 2 in
+          [ (t, 0.75); (t + jitter, 0.25) ])
+    in
+    let c = ref (Rng.Prng.int_in rng 1 5) in
+    let cost =
+      let arr = Array.make k 0 in
+      for j = k - 1 downto 0 do
+        arr.(j) <- !c;
+        c := !c + Rng.Prng.int_in rng 2 8
+      done;
+      arr
+    in
+    (time, cost)
+  in
+  let rows = Array.init n row in
+  make ~library ~time:(Array.map fst rows) ~cost:(Array.map snd rows)

@@ -1,0 +1,77 @@
+(** Soft real-time assignment under probabilistic execution times — an
+    extension in the direction of the authors' follow-up work (Qiu et al.,
+    {e Energy minimization with soft real-time and DVS}): node execution
+    times are small discrete distributions (cache hits/misses, data-
+    dependent iteration counts), and instead of a hard deadline the design
+    must meet [P(makespan <= deadline) >= theta].
+
+    The solver is a guaranteed-conservative surrogate search over two
+    pessimism knobs: replace each distribution by a per-node quantile time
+    (the smallest time whose CDF reaches [q]) and solve the resulting
+    {e deterministic} instance with [DFG_Assign_Repeat] under a shrunken
+    surrogate deadline [T' <= T] (a safety margin); every candidate's true
+    success probability is then verified — exactly (joint-outcome
+    enumeration) on small graphs, by seeded Monte-Carlo otherwise. For each
+    [q] ascending, [T'] sweeps downward and the first verified hit is
+    returned, so results always satisfy [theta] and cheaper candidates are
+    found before dearer ones. *)
+
+(** A discrete execution-time distribution: [(time, probability)] pairs,
+    times >= 1, probabilities positive and summing to 1 (within 1e-6). *)
+type dist = (int * float) list
+
+type ptable
+(** Per-node, per-type distributions plus deterministic costs. *)
+
+val make :
+  library:Fulib.Library.t ->
+  time:dist array array ->
+  cost:int array array ->
+  ptable
+
+val library : ptable -> Fulib.Library.t
+val num_nodes : ptable -> int
+
+(** [quantile_table pt ~q] — the deterministic surrogate: per node and
+    type, the smallest time whose CDF reaches [q] ([0 < q <= 1]). *)
+val quantile_table : ptable -> q:float -> Fulib.Table.t
+
+(** [worst_case_table pt] = [quantile_table ~q:1.0]. *)
+val worst_case_table : ptable -> Fulib.Table.t
+
+(** Exact [P(makespan <= deadline)] by enumerating joint outcomes —
+    exponential in the number of nodes with non-degenerate distributions;
+    raises [Invalid_argument] beyond 20 such nodes. *)
+val success_probability_exact :
+  Dfg.Graph.t -> ptable -> Assignment.t -> deadline:int -> float
+
+(** Seeded Monte-Carlo estimate of the same probability. *)
+val success_probability_mc :
+  Dfg.Graph.t ->
+  ptable ->
+  Assignment.t ->
+  deadline:int ->
+  samples:int ->
+  seed:int ->
+  float
+
+(** [solve g pt ~theta ~deadline] returns an assignment whose verified
+    success probability is at least [theta], together with its cost and
+    that probability; [None] when even the worst-case instance is
+    infeasible. Verification is exact when at most 16 nodes have
+    non-degenerate distributions, Monte-Carlo (4096 samples, fixed seed)
+    otherwise. *)
+val solve :
+  Dfg.Graph.t ->
+  ptable ->
+  theta:float ->
+  deadline:int ->
+  (Assignment.t * int * float) option
+
+(** Random 2-point distributions around an op-aware base (for tests and
+    experiments): with probability ~0.75 the base time, else base + 1..2. *)
+val random_ptable :
+  Rng.Prng.t -> library:Fulib.Library.t -> Dfg.Graph.t -> ptable
+
+(** Total cost under the ptable's (deterministic) costs. *)
+val total_cost : ptable -> Assignment.t -> int

@@ -1,0 +1,147 @@
+type opportunity = {
+  node : int;
+  current_type : int;
+  suggested_type : int;
+  makespan_after : int;
+  cost_delta : int;
+}
+
+type t = {
+  makespan : int;
+  deadline : int;
+  critical_nodes : int list;
+  speedups : opportunity list;
+  savings : opportunity list;
+}
+
+let analyse g table a ~deadline =
+  Assign.Assignment.validate g table a;
+  let n = Dfg.Graph.num_nodes g in
+  let k = Fulib.Table.num_types table in
+  let time v = Fulib.Table.time table ~node:v ~ftype:a.(v) in
+  let cost v = Fulib.Table.cost table ~node:v ~ftype:a.(v) in
+  let into = Dfg.Paths.longest_to g ~weight:time in
+  let out_of = Dfg.Paths.longest_from g ~weight:time in
+  let makespan = Assign.Assignment.makespan g table a in
+  let through v = into.(v) + out_of.(v) - time v in
+  let critical_nodes =
+    List.filter (fun v -> through v = makespan) (List.init n (fun i -> i))
+  in
+  (* Retyping v moves every path through v by (t' - time v) and leaves the
+     rest alone, so the single-change makespan is
+     max(longest path avoiding v, through v - time v + t'). The avoiding
+     term is computed exactly on the graph with v removed — these graphs
+     are small. *)
+  let longest_avoiding v =
+    let keep = List.filter (fun w -> w <> v) (List.init n (fun i -> i)) in
+    let index = Hashtbl.create 16 in
+    List.iteri (fun i w -> Hashtbl.replace index w i) keep;
+    let names = Array.of_list (List.map (Dfg.Graph.name g) keep) in
+    let edges =
+      List.filter_map
+        (fun { Dfg.Graph.src; dst; delay } ->
+          if delay <> 0 || src = v || dst = v then None
+          else
+            Some
+              {
+                Dfg.Graph.src = Hashtbl.find index src;
+                dst = Hashtbl.find index dst;
+                delay = 0;
+              })
+        (Dfg.Graph.edges g)
+    in
+    let sub = Dfg.Graph.of_edges ~names edges in
+    let weight i = time (List.nth keep i) in
+    Dfg.Paths.longest_path sub ~weight
+  in
+  let single_change_makespan v t =
+    let new_through =
+      through v - time v + Fulib.Table.time table ~node:v ~ftype:t
+    in
+    max (longest_avoiding v) new_through
+  in
+  let best_speedup v =
+    let candidates =
+      List.filter_map
+        (fun t ->
+          if Fulib.Table.time table ~node:v ~ftype:t < time v then
+            Some
+              {
+                node = v;
+                current_type = a.(v);
+                suggested_type = t;
+                makespan_after = single_change_makespan v t;
+                cost_delta = Fulib.Table.cost table ~node:v ~ftype:t - cost v;
+              }
+          else None)
+        (List.init k (fun t -> t))
+    in
+    match
+      List.sort
+        (fun o o' -> compare (o.makespan_after, o.cost_delta) (o'.makespan_after, o'.cost_delta))
+        candidates
+    with
+    | best :: _ when best.makespan_after < makespan -> Some best
+    | _ -> None
+  in
+  let speedups =
+    List.sort
+      (fun o o' -> compare (o.makespan_after, o.cost_delta) (o'.makespan_after, o'.cost_delta))
+      (List.filter_map best_speedup critical_nodes)
+  in
+  let savings =
+    List.filter_map
+      (fun v ->
+        if List.mem v critical_nodes then None
+        else
+          let candidates =
+            List.filter_map
+              (fun t ->
+                let dc = Fulib.Table.cost table ~node:v ~ftype:t - cost v in
+                if dc < 0 && single_change_makespan v t <= deadline then
+                  Some
+                    {
+                      node = v;
+                      current_type = a.(v);
+                      suggested_type = t;
+                      makespan_after = single_change_makespan v t;
+                      cost_delta = dc;
+                    }
+                else None)
+              (List.init k (fun t -> t))
+          in
+          match List.sort (fun o o' -> compare o.cost_delta o'.cost_delta) candidates with
+          | best :: _ -> Some best
+          | [] -> None)
+      (List.init n (fun i -> i))
+  in
+  let savings = List.sort (fun o o' -> compare o.cost_delta o'.cost_delta) savings in
+  { makespan; deadline; critical_nodes; speedups; savings }
+
+let pp ~graph ~table ppf t =
+  let lib = Fulib.Table.library table in
+  let name v = Dfg.Graph.name graph v in
+  let tname ty = Fulib.Library.type_name lib ty in
+  Format.fprintf ppf "@[<v>makespan %d of deadline %d (slack %d)@," t.makespan
+    t.deadline (t.deadline - t.makespan);
+  Format.fprintf ppf "critical nodes:";
+  List.iter (fun v -> Format.fprintf ppf " %s" (name v)) t.critical_nodes;
+  Format.fprintf ppf "@,speed-ups (single-change):";
+  if t.speedups = [] then Format.fprintf ppf " none"
+  else
+    List.iter
+      (fun o ->
+        Format.fprintf ppf "@,  %s: %s -> %s gives makespan %d (cost %+d)"
+          (name o.node) (tname o.current_type) (tname o.suggested_type)
+          o.makespan_after o.cost_delta)
+      t.speedups;
+  Format.fprintf ppf "@,deadline-safe savings:";
+  if t.savings = [] then Format.fprintf ppf " none"
+  else
+    List.iter
+      (fun o ->
+        Format.fprintf ppf "@,  %s: %s -> %s saves %d"
+          (name o.node) (tname o.current_type) (tname o.suggested_type)
+          (-o.cost_delta))
+      t.savings;
+  Format.fprintf ppf "@]"

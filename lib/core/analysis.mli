@@ -1,0 +1,38 @@
+(** Bottleneck analysis of a synthesis result — the "why" report.
+
+    Given an assignment under a deadline, identifies what pins the design:
+
+    - {b critical nodes}: nodes on a longest path (zero slack) — speeding
+      up anything else cannot reduce the makespan;
+    - {b speed-up opportunities}: critical nodes where a faster FU type
+      exists, with the makespan the whole design would reach if that one
+      node were upgraded (and what it would cost);
+    - {b savings opportunities}: non-critical nodes whose slack admits a
+      cheaper, slower type outright — money left on the table by a
+      heuristic (an optimal tree assignment shows none).
+
+    All figures are exact single-change analyses via path-through-node
+    bounds; combined changes interact and are the optimiser's job, which
+    the report is honest about. *)
+
+type opportunity = {
+  node : int;
+  current_type : int;
+  suggested_type : int;
+  makespan_after : int;  (** critical-path time after this single change *)
+  cost_delta : int;  (** positive = costs more, negative = saves *)
+}
+
+type t = {
+  makespan : int;
+  deadline : int;
+  critical_nodes : int list;  (** ascending node order *)
+  speedups : opportunity list;  (** best per critical node, best first *)
+  savings : opportunity list;  (** deadline-safe down-types, best first *)
+}
+
+val analyse :
+  Dfg.Graph.t -> Fulib.Table.t -> Assign.Assignment.t -> deadline:int -> t
+
+val pp :
+  graph:Dfg.Graph.t -> table:Fulib.Table.t -> Format.formatter -> t -> unit

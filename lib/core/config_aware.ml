@@ -1,0 +1,67 @@
+type result = {
+  assignment : Assign.Assignment.t;
+  cost : int;
+  schedule : Sched.Schedule.t;
+}
+
+(* a schedule against the inventory that also meets the deadline *)
+let try_schedule g table a ~deadline ~inventory =
+  match Sched.Resource_constrained.run g table a ~config:inventory with
+  | Some s when Sched.Schedule.meets_deadline table s ~deadline -> Some s
+  | Some _ | None -> None
+
+let solve g table ~deadline ~inventory =
+  let k = Fulib.Table.num_types table in
+  if Array.length inventory <> k then
+    invalid_arg "Config_aware.solve: inventory length mismatch";
+  match Assign.Dfg_assign.repeat g table ~deadline with
+  | None -> None
+  | Some a ->
+      let n = Dfg.Graph.num_nodes g in
+      let a = Array.copy a in
+      let rec repair budget =
+        match try_schedule g table a ~deadline ~inventory with
+        | Some s -> Some { assignment = a; cost = Assign.Assignment.total_cost table a; schedule = s }
+        | None when budget = 0 -> None
+        | None ->
+            (* which types are over-subscribed under an ideal (min-resource)
+               schedule? *)
+            let over =
+              match Sched.Min_resource.run g table a ~deadline with
+              | Some { Sched.Min_resource.config; _ } ->
+                  List.filter
+                    (fun t -> config.(t) > inventory.(t))
+                    (List.init k (fun t -> t))
+              | None -> []
+            in
+            let over = if over = [] then List.init k (fun t -> t) else over in
+            (* cheapest feasible retype of a node on an overfull type *)
+            let time v = Fulib.Table.time table ~node:v ~ftype:a.(v) in
+            let into = Dfg.Paths.longest_to g ~weight:time in
+            let out_of = Dfg.Paths.longest_from g ~weight:time in
+            let best = ref None in
+            for v = 0 to n - 1 do
+              if List.mem a.(v) over then
+                for t = 0 to k - 1 do
+                  if t <> a.(v) && inventory.(t) > 0 then begin
+                    let dt = Fulib.Table.time table ~node:v ~ftype:t in
+                    let through = into.(v) + out_of.(v) - (2 * time v) + dt in
+                    if through <= deadline then begin
+                      let extra =
+                        Fulib.Table.cost table ~node:v ~ftype:t
+                        - Fulib.Table.cost table ~node:v ~ftype:a.(v)
+                      in
+                      match !best with
+                      | Some (e, _, _) when e <= extra -> ()
+                      | _ -> best := Some (extra, v, t)
+                    end
+                  end
+                done
+            done;
+            (match !best with
+            | None -> None
+            | Some (_, v, t) ->
+                a.(v) <- t;
+                repair (budget - 1))
+      in
+      repair (n * k)

@@ -1,0 +1,29 @@
+(** Configuration-constrained assignment: minimise cost under a deadline
+    {e and} a fixed FU inventory.
+
+    The paper derives the configuration from the assignment; a designer
+    often has it the other way round — an existing datapath ("one
+    multiplier-class FU of each type, two adders") that the application
+    must fit. This solver wraps Phase 1 in a repair loop: start from
+    [DFG_Assign_Repeat]'s assignment; while the minimum-resource schedule
+    needs more instances of some type than the inventory provides, retype
+    one node of the overfull type (the node whose cheapest feasible
+    alternative costs least extra, breaking ties toward the node with most
+    slack) and reschedule. Each iteration strictly reduces the number of
+    nodes on overfull types, so the loop terminates; success is verified
+    with {!Sched.Resource_constrained} list scheduling against the
+    inventory. A heuristic — it can return [None] on instances an exact
+    search could solve — but sound: any returned schedule fits. *)
+
+type result = {
+  assignment : Assign.Assignment.t;
+  cost : int;
+  schedule : Sched.Schedule.t;
+}
+
+val solve :
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  deadline:int ->
+  inventory:Sched.Config.t ->
+  result option

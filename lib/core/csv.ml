@@ -1,0 +1,67 @@
+let escape field =
+  let needs_quoting =
+    String.exists (function ',' | '"' | '\n' | '\r' -> true | _ -> false) field
+  in
+  if not needs_quoting then field
+  else begin
+    let buf = Buffer.create (String.length field + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      field;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let render ~header rows =
+  let line fields = String.concat "," (List.map escape fields) in
+  String.concat "\n" (List.map line (header :: rows)) ^ "\n"
+
+let report_rows ~with_name report =
+  List.concat_map
+    (fun row ->
+      let greedy = List.assoc_opt Synthesis.Greedy row.Experiments.costs in
+      let greedy = Option.join greedy in
+      List.map
+        (fun (algo, cost) ->
+          let name_cols =
+            if with_name then [ report.Experiments.name ] else []
+          in
+          name_cols
+          @ [
+              string_of_int row.Experiments.deadline;
+              Synthesis.algorithm_name algo;
+              (match cost with Some c -> string_of_int c | None -> "");
+              (match cost with
+              | Some c -> Report.percent ~baseline:greedy ~value:c
+              | None -> "");
+              (match row.Experiments.config with
+              | Some c -> Sched.Config.to_string c
+              | None -> "");
+            ])
+        row.Experiments.costs)
+    report.Experiments.rows
+
+let header ~with_name =
+  (if with_name then [ "benchmark" ] else [])
+  @ [ "deadline"; "algorithm"; "cost"; "reduction_vs_greedy"; "config" ]
+
+let of_report report =
+  render ~header:(header ~with_name:false) (report_rows ~with_name:false report)
+
+let of_reports reports =
+  render ~header:(header ~with_name:true)
+    (List.concat_map (report_rows ~with_name:true) reports)
+
+let of_frontier points =
+  render
+    ~header:[ "deadline"; "cost"; "config" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.Frontier.deadline;
+           string_of_int p.Frontier.cost;
+           Sched.Config.to_string p.Frontier.config;
+         ])
+       points)

@@ -1,0 +1,16 @@
+(** CSV export of experiment results (RFC-4180-style quoting). *)
+
+(** [render ~header rows] — fields containing commas, quotes or newlines
+    are quoted, quotes doubled; rows may be ragged. *)
+val render : header:string list -> string list list -> string
+
+(** A benchmark report as CSV: one row per (deadline, algorithm) with the
+    cost, % reduction vs greedy, and the row's configuration. *)
+val of_report : Experiments.benchmark_report -> string
+
+(** The whole of Table 1 or 2 as one CSV (reports concatenated, benchmark
+    name in the first column). *)
+val of_reports : Experiments.benchmark_report list -> string
+
+(** A frontier as CSV. *)
+val of_frontier : Frontier.point list -> string

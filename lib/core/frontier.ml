@@ -1,0 +1,33 @@
+type point = {
+  deadline : int;
+  cost : int;
+  config : Sched.Config.t;
+}
+
+let trace ?(algorithm = Synthesis.Repeat) g table ~max_deadline =
+  let tmin = Synthesis.min_deadline g table in
+  let rec sweep deadline best acc =
+    if deadline > max_deadline then List.rev acc
+    else
+      match Synthesis.run algorithm g table ~deadline with
+      | None -> sweep (deadline + 1) best acc
+      | Some r ->
+          if r.Synthesis.cost < best then
+            sweep (deadline + 1) r.Synthesis.cost
+              ({ deadline; cost = r.Synthesis.cost; config = r.Synthesis.config }
+              :: acc)
+          else sweep (deadline + 1) best acc
+  in
+  sweep tmin max_int []
+
+let to_string points =
+  Report.render ~title:"cost/deadline frontier"
+    ~header:[ "T"; "cost"; "config" ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.deadline;
+           string_of_int p.cost;
+           Sched.Config.to_string p.config;
+         ])
+       points)

@@ -1,0 +1,30 @@
+(** Cost/deadline Pareto frontiers.
+
+    The paper evaluates six discrete timing constraints; a designer usually
+    wants the whole trade-off curve. This module sweeps the deadline from
+    the minimum feasible value and keeps the points where the achievable
+    cost strictly improves — the staircase a design-space explorer plots. *)
+
+type point = {
+  deadline : int;  (** smallest deadline achieving [cost] in the sweep *)
+  cost : int;
+  config : Sched.Config.t;
+      (** [Min_FU_Scheduling] configuration at that point *)
+}
+
+(** [trace ?algorithm g table ~max_deadline] sweeps deadlines from the
+    minimum feasible one to [max_deadline] (inclusive) with the given
+    phase-1 algorithm (default {!Synthesis.Repeat}) and returns the Pareto
+    points in increasing deadline / decreasing cost order. Empty when even
+    [max_deadline] is infeasible. For optimal algorithms the cost staircase
+    is guaranteed monotone; heuristic wobbles are smoothed (a point enters
+    only when it improves on every earlier cost). *)
+val trace :
+  ?algorithm:Synthesis.algorithm ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  max_deadline:int ->
+  point list
+
+(** Render as a small table. *)
+val to_string : point list -> string

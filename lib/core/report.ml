@@ -1,0 +1,35 @@
+let render ~title ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let line row =
+    String.concat "  "
+      (List.mapi
+         (fun c w ->
+           let cell = Option.value ~default:"" (List.nth_opt row c) in
+           cell ^ String.make (w - String.length cell) ' ')
+         widths)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (line header ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun r -> Buffer.add_string buf (line r ^ "\n")) rows;
+  Buffer.contents buf
+
+let percent ~baseline ~value =
+  match baseline with
+  | Some b when b > 0 ->
+      Printf.sprintf "%.1f%%" (100.0 *. float_of_int (b - value) /. float_of_int b)
+  | Some _ | None -> "-"
+
+let cost_cell = function Some c -> string_of_int c | None -> "-"

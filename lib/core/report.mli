@@ -1,0 +1,13 @@
+(** Plain-text table rendering for the experiment drivers. *)
+
+(** [render ~title ~header rows] lays out a left-padded column table with a
+    separator under the header; column widths fit the widest cell. *)
+val render : title:string -> header:string list -> string list list -> string
+
+(** [percent ~baseline ~value] formats the paper's "% reduction" columns:
+    [100 * (baseline - value) / baseline], e.g. ["23.4%"]; ["-"] when the
+    baseline is missing or zero. *)
+val percent : baseline:int option -> value:int -> string
+
+(** Render an optional cost, ["-"] when infeasible. *)
+val cost_cell : int option -> string

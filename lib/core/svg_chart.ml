@@ -1,0 +1,198 @@
+type series = {
+  label : string;
+  points : (float * float) list;
+}
+
+let palette =
+  [| "#4e79a7"; "#f28e2b"; "#59a14f"; "#e15759"; "#b07aa1"; "#76b7b2"; "#9c755f" |]
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let width = 640.0
+let height = 400.0
+let margin_left = 64.0
+let margin_right = 150.0
+let margin_top = 40.0
+let margin_bottom = 48.0
+
+let nice_ticks lo hi =
+  (* about 5 ticks at a round step *)
+  let span = Float.max (hi -. lo) 1e-9 in
+  let raw = span /. 5.0 in
+  let mag = 10.0 ** Float.round (Float.log10 raw) in
+  let step =
+    List.fold_left
+      (fun best c -> if Float.abs ((c *. mag) -. raw) < Float.abs (best -. raw) then c *. mag else best)
+      mag [ 0.5; 1.0; 2.0; 5.0 ]
+  in
+  let first = Float.round (lo /. step) *. step in
+  let rec collect t acc =
+    if t > hi +. (step /. 2.0) then List.rev acc else collect (t +. step) (t :: acc)
+  in
+  collect first []
+
+let format_tick v =
+  if Float.abs (v -. Float.round v) < 1e-6 then
+    string_of_int (int_of_float (Float.round v))
+  else Printf.sprintf "%.1f" v
+
+let line_chart ~title ~x_label ~y_label series =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then invalid_arg "Svg_chart.line_chart: no points";
+  let xs = List.map fst all_points and ys = List.map snd all_points in
+  let xmin = List.fold_left min infinity xs and xmax = List.fold_left max neg_infinity xs in
+  let ymin = Float.min 0.0 (List.fold_left min infinity ys) in
+  let ymax = List.fold_left max neg_infinity ys in
+  let ymax = if ymax <= ymin then ymin +. 1.0 else ymax in
+  let xmax = if xmax <= xmin then xmin +. 1.0 else xmax in
+  let plot_w = width -. margin_left -. margin_right in
+  let plot_h = height -. margin_top -. margin_bottom in
+  let px x = margin_left +. ((x -. xmin) /. (xmax -. xmin) *. plot_w) in
+  let py y = margin_top +. plot_h -. ((y -. ymin) /. (ymax -. ymin) *. plot_h) in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%g\" height=\"%g\" \
+     font-family=\"sans-serif\" font-size=\"12\">\n"
+    width height;
+  add "<rect width=\"%g\" height=\"%g\" fill=\"white\"/>\n" width height;
+  add "<text x=\"%g\" y=\"22\" font-size=\"15\" font-weight=\"bold\">%s</text>\n"
+    margin_left (escape title);
+  (* axes *)
+  add "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"black\"/>\n"
+    margin_left margin_top margin_left (margin_top +. plot_h);
+  add "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"black\"/>\n"
+    margin_left (margin_top +. plot_h)
+    (margin_left +. plot_w)
+    (margin_top +. plot_h);
+  List.iter
+    (fun t ->
+      add "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#ddd\"/>\n"
+        (px t) margin_top (px t) (margin_top +. plot_h);
+      add "<text x=\"%g\" y=\"%g\" text-anchor=\"middle\" fill=\"#444\">%s</text>\n"
+        (px t)
+        (margin_top +. plot_h +. 16.0)
+        (format_tick t))
+    (nice_ticks xmin xmax);
+  List.iter
+    (fun t ->
+      add "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#ddd\"/>\n"
+        margin_left (py t)
+        (margin_left +. plot_w)
+        (py t);
+      add "<text x=\"%g\" y=\"%g\" text-anchor=\"end\" fill=\"#444\">%s</text>\n"
+        (margin_left -. 6.0)
+        (py t +. 4.0)
+        (format_tick t))
+    (nice_ticks ymin ymax);
+  add
+    "<text x=\"%g\" y=\"%g\" text-anchor=\"middle\">%s</text>\n"
+    (margin_left +. (plot_w /. 2.0))
+    (height -. 10.0) (escape x_label);
+  add
+    "<text x=\"16\" y=\"%g\" transform=\"rotate(-90 16 %g)\" \
+     text-anchor=\"middle\">%s</text>\n"
+    (margin_top +. (plot_h /. 2.0))
+    (margin_top +. (plot_h /. 2.0))
+    (escape y_label);
+  (* series *)
+  List.iteri
+    (fun i s ->
+      let colour = palette.(i mod Array.length palette) in
+      let sorted = List.sort compare s.points in
+      let path =
+        String.concat " "
+          (List.mapi
+             (fun j (x, y) ->
+               Printf.sprintf "%s%g,%g" (if j = 0 then "M" else "L") (px x) (py y))
+             sorted)
+      in
+      add "<path d=\"%s\" fill=\"none\" stroke=\"%s\" stroke-width=\"2\"/>\n" path
+        colour;
+      List.iter
+        (fun (x, y) ->
+          add "<circle cx=\"%g\" cy=\"%g\" r=\"3\" fill=\"%s\"/>\n" (px x) (py y)
+            colour)
+        sorted;
+      (* legend *)
+      let ly = margin_top +. (float_of_int i *. 18.0) in
+      add "<rect x=\"%g\" y=\"%g\" width=\"12\" height=\"12\" fill=\"%s\"/>\n"
+        (width -. margin_right +. 12.0)
+        ly colour;
+      add "<text x=\"%g\" y=\"%g\">%s</text>\n"
+        (width -. margin_right +. 30.0)
+        (ly +. 10.0) (escape s.label))
+    series;
+  add "</svg>\n";
+  Buffer.contents buf
+
+let bar_chart ~title ~y_label bars =
+  if bars = [] then invalid_arg "Svg_chart.bar_chart: no bars";
+  let values = List.map snd bars in
+  let ymin = Float.min 0.0 (List.fold_left min infinity values) in
+  let ymax = Float.max 0.0 (List.fold_left max neg_infinity values) in
+  let ymax = if ymax <= ymin then ymin +. 1.0 else ymax in
+  let plot_w = width -. margin_left -. 24.0 in
+  let plot_h = height -. margin_top -. margin_bottom in
+  let py y = margin_top +. plot_h -. ((y -. ymin) /. (ymax -. ymin) *. plot_h) in
+  let n = List.length bars in
+  let slot = plot_w /. float_of_int n in
+  let bar_w = slot *. 0.6 in
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%g\" height=\"%g\" \
+     font-family=\"sans-serif\" font-size=\"12\">\n"
+    width height;
+  add "<rect width=\"%g\" height=\"%g\" fill=\"white\"/>\n" width height;
+  add "<text x=\"%g\" y=\"22\" font-size=\"15\" font-weight=\"bold\">%s</text>\n"
+    margin_left (escape title);
+  List.iter
+    (fun t ->
+      add "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"#ddd\"/>\n"
+        margin_left (py t)
+        (margin_left +. plot_w)
+        (py t);
+      add "<text x=\"%g\" y=\"%g\" text-anchor=\"end\" fill=\"#444\">%s</text>\n"
+        (margin_left -. 6.0)
+        (py t +. 4.0)
+        (format_tick t))
+    (nice_ticks ymin ymax);
+  add "<line x1=\"%g\" y1=\"%g\" x2=\"%g\" y2=\"%g\" stroke=\"black\"/>\n"
+    margin_left (py 0.0)
+    (margin_left +. plot_w)
+    (py 0.0);
+  add
+    "<text x=\"16\" y=\"%g\" transform=\"rotate(-90 16 %g)\" \
+     text-anchor=\"middle\">%s</text>\n"
+    (margin_top +. (plot_h /. 2.0))
+    (margin_top +. (plot_h /. 2.0))
+    (escape y_label);
+  List.iteri
+    (fun i (label, v) ->
+      let x = margin_left +. (float_of_int i *. slot) +. ((slot -. bar_w) /. 2.0) in
+      let y0 = py 0.0 and y1 = py v in
+      let top = Float.min y0 y1 and h = Float.abs (y0 -. y1) in
+      add
+        "<rect x=\"%g\" y=\"%g\" width=\"%g\" height=\"%g\" fill=\"%s\"/>\n" x top
+        bar_w h
+        palette.(i mod Array.length palette);
+      add
+        "<text x=\"%g\" y=\"%g\" text-anchor=\"middle\" fill=\"#333\">%s</text>\n"
+        (x +. (bar_w /. 2.0))
+        (margin_top +. plot_h +. 16.0)
+        (escape label))
+    bars;
+  add "</svg>\n";
+  Buffer.contents buf

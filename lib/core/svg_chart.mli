@@ -1,0 +1,25 @@
+(** Minimal SVG charting for the reproduction figures.
+
+    Line charts with integer data points, axes with tick labels, a legend,
+    and an optional title — enough to plot cost-vs-deadline curves and
+    scaling series without any external tooling. Plain SVG 1.1. *)
+
+type series = {
+  label : string;
+  points : (float * float) list;  (** (x, y), any order; sorted internally *)
+}
+
+(** [line_chart ~title ~x_label ~y_label series] renders a 640x400 chart.
+    Colours cycle through a fixed palette in series order. Raises
+    [Invalid_argument] when no series has any point. *)
+val line_chart :
+  title:string ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+
+(** [bar_chart ~title ~y_label bars] — one labelled vertical bar per entry
+    (e.g. average reduction per benchmark). Values may be negative; the
+    baseline sits at zero. Raises [Invalid_argument] on an empty list. *)
+val bar_chart : title:string -> y_label:string -> (string * float) list -> string

@@ -1,0 +1,80 @@
+type algorithm = Greedy | Greedy_iterative | Tree | Once | Repeat | Repeat_refined | Beam | Exact
+
+let algorithm_name = function
+  | Greedy -> "Greedy"
+  | Greedy_iterative -> "Greedy_Iter"
+  | Tree -> "Tree_Assign"
+  | Once -> "DFG_Assign_Once"
+  | Repeat -> "DFG_Assign_Repeat"
+  | Repeat_refined -> "Repeat_Refined"
+  | Beam -> "Beam"
+  | Exact -> "Exact"
+
+let all_algorithms = [ Greedy; Greedy_iterative; Tree; Once; Repeat; Repeat_refined; Beam; Exact ]
+
+let assign algorithm g table ~deadline =
+  match algorithm with
+  | Greedy -> Assign.Greedy.solve g table ~deadline
+  | Greedy_iterative -> Assign.Greedy.solve_iterative g table ~deadline
+  | Tree -> Option.map fst (Assign.Tree_assign.solve_auto g table ~deadline)
+  | Once -> Assign.Dfg_assign.once g table ~deadline
+  | Repeat -> Assign.Dfg_assign.repeat g table ~deadline
+  | Repeat_refined -> Assign.Local_search.repeat_plus g table ~deadline ~seed:1
+  | Beam -> Option.map fst (Assign.Beam.solve g table ~deadline)
+  | Exact -> Option.map fst (Assign.Exact.solve g table ~deadline)
+
+type result = {
+  algorithm : algorithm;
+  assignment : Assign.Assignment.t;
+  cost : int;
+  makespan : int;
+  schedule : Sched.Schedule.t;
+  config : Sched.Config.t;
+  lower_bound : Sched.Config.t;
+}
+
+let min_deadline g table = Assign.Assignment.min_makespan g table
+
+type scheduler = List_scheduling | Force_directed
+
+let run ?(scheduler = List_scheduling) algorithm g table ~deadline =
+  let schedule_with g table a ~deadline =
+    match scheduler with
+    | List_scheduling -> Sched.Min_resource.run g table a ~deadline
+    | Force_directed -> Sched.Force_directed.run g table a ~deadline
+  in
+  match assign algorithm g table ~deadline with
+  | None -> None
+  | Some assignment -> (
+      match schedule_with g table assignment ~deadline with
+      | None -> None
+      | Some { Sched.Min_resource.schedule; config; lower_bound } ->
+          Some
+            {
+              algorithm;
+              assignment;
+              cost = Assign.Assignment.total_cost table assignment;
+              makespan = Assign.Assignment.makespan g table assignment;
+              schedule;
+              config;
+              lower_bound;
+            })
+
+let pp_result ~graph ~table ppf r =
+  let names = Dfg.Graph.names graph in
+  let library = Fulib.Table.library table in
+  let binding = Sched.Binding.bind table r.schedule in
+  let registers = Sched.Registers.max_live graph table r.schedule in
+  Format.fprintf ppf
+    "@[<v>algorithm : %s@,cost      : %d@,makespan  : %d@,config    : %a \
+     (lower bound %a)@,registers : %d@,assignment: %a@,%a@,per-FU \
+     timelines:@,%a@]"
+    (algorithm_name r.algorithm)
+    r.cost r.makespan Sched.Config.pp r.config Sched.Config.pp r.lower_bound
+    registers
+    (Assign.Assignment.pp ~names ~library)
+    r.assignment
+    (Sched.Schedule.pp ~graph ~table)
+    r.schedule
+    (Sched.Binding.pp ~graph ~table ~schedule:r.schedule)
+    binding

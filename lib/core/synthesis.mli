@@ -1,0 +1,63 @@
+(** One-call synthesis pipeline: Phase-1 assignment followed by Phase-2
+    minimum-resource scheduling, as in the paper's two-phase approach. *)
+
+type algorithm =
+  | Greedy  (** baseline of Chang–Wang–Parhi (one-pass) *)
+  | Greedy_iterative
+      (** extension: iterated best-single-move greedy (stronger baseline) *)
+  | Tree  (** [Tree_Assign]; requires a forest in either orientation *)
+  | Once  (** [DFG_Assign_Once] *)
+  | Repeat  (** [DFG_Assign_Repeat] — the paper's recommendation *)
+  | Repeat_refined
+      (** extension: [DFG_Assign_Repeat] followed by simulated-annealing
+          refinement ([Assign.Local_search], fixed seed) *)
+  | Beam  (** extension: beam search (width 16) over topological order *)
+  | Exact  (** branch-and-bound optimum; small graphs only *)
+
+val algorithm_name : algorithm -> string
+val all_algorithms : algorithm list
+
+(** Phase-2 scheduler choice: the paper's revised list scheduling
+    ([Min_FU_Scheduling]) or force-directed scheduling (extension). *)
+type scheduler = List_scheduling | Force_directed
+
+(** Phase 1 only. *)
+val assign :
+  algorithm ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  deadline:int ->
+  Assign.Assignment.t option
+
+type result = {
+  algorithm : algorithm;
+  assignment : Assign.Assignment.t;
+  cost : int;  (** system cost — sum of node execution costs *)
+  makespan : int;  (** critical-path time under the assignment *)
+  schedule : Sched.Schedule.t;
+  config : Sched.Config.t;  (** configuration of the generated schedule *)
+  lower_bound : Sched.Config.t;  (** [Lower_Bound_FU] configuration *)
+}
+
+(** [run ?scheduler algorithm g table ~deadline] performs both phases
+    (default scheduler: {!List_scheduling}). [None] when the deadline is
+    infeasible (or, for [Tree], when the graph is not a forest — that
+    raises [Invalid_argument] instead). *)
+val run :
+  ?scheduler:scheduler ->
+  algorithm ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  deadline:int ->
+  result option
+
+(** Smallest feasible deadline for the graph/table (all-fastest critical
+    path) — the paper's first timing constraint in every experiment. *)
+val min_deadline : Dfg.Graph.t -> Fulib.Table.t -> int
+
+val pp_result :
+  graph:Dfg.Graph.t ->
+  table:Fulib.Table.t ->
+  Format.formatter ->
+  result ->
+  unit

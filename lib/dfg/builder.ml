@@ -1,0 +1,26 @@
+type t = {
+  mutable names : string list;
+  mutable ops : string list;
+  mutable count : int;
+  mutable edges : Graph.edge list;
+}
+
+let create () = { names = []; ops = []; count = 0; edges = [] }
+
+let add_node b ~name ~op =
+  let id = b.count in
+  b.names <- name :: b.names;
+  b.ops <- op :: b.ops;
+  b.count <- id + 1;
+  id
+
+let add_delay_edge b ~src ~dst ~delay =
+  b.edges <- { Graph.src; dst; delay } :: b.edges
+
+let add_edge b ~src ~dst = add_delay_edge b ~src ~dst ~delay:0
+let num_nodes b = b.count
+
+let finish b =
+  let names = Array.of_list (List.rev b.names) in
+  let ops = Array.of_list (List.rev b.ops) in
+  Graph.of_edges ~names ~ops (List.rev b.edges)

@@ -1,0 +1,25 @@
+(** Imperative construction of {!Graph.t} values.
+
+    A builder accumulates nodes and edges; {!finish} validates and freezes
+    them into an immutable graph. Convenient for writing benchmark netlists
+    and generators. *)
+
+type t
+
+val create : unit -> t
+
+(** [add_node b ~name ~op] returns the fresh node's id (dense, starting
+    at 0). *)
+val add_node : t -> name:string -> op:string -> int
+
+(** [add_edge b ~src ~dst] adds a zero-delay (intra-iteration) edge. *)
+val add_edge : t -> src:int -> dst:int -> unit
+
+(** [add_delay_edge b ~src ~dst ~delay] adds an inter-iteration edge. *)
+val add_delay_edge : t -> src:int -> dst:int -> delay:int -> unit
+
+val num_nodes : t -> int
+
+(** Validates and freezes. Raises [Invalid_argument] as {!Graph.of_edges}
+    does. The builder remains usable afterwards. *)
+val finish : t -> Graph.t

@@ -1,0 +1,112 @@
+type retiming = int array
+
+let cycle_period g ~time = Paths.longest_path g ~weight:time
+
+let is_legal g r =
+  List.for_all
+    (fun { Graph.src; dst; delay } -> delay + r.(dst) - r.(src) >= 0)
+    (Graph.edges g)
+
+let apply g r =
+  if Array.length r <> Graph.num_nodes g then
+    invalid_arg "Cyclic.apply: retiming length mismatch";
+  if not (is_legal g r) then invalid_arg "Cyclic.apply: illegal retiming";
+  let names = Graph.names g in
+  let ops = Array.init (Graph.num_nodes g) (fun v -> Graph.op g v) in
+  let edges =
+    List.map
+      (fun { Graph.src; dst; delay } ->
+        { Graph.src; dst; delay = delay + r.(dst) - r.(src) })
+      (Graph.edges g)
+  in
+  Graph.of_edges ~names ~ops edges
+
+(* FEAS (Leiserson–Saxe), adapted to node weights: for n - 1 rounds, compute
+   each node's combinational depth in the retimed graph and lag every node
+   whose depth exceeds the target period. *)
+let feasible_retiming g ~time ~period =
+  let n = Graph.num_nodes g in
+  if n = 0 then Some [||]
+  else begin
+    let r = Array.make n 0 in
+    let retimed_graph () = apply g r in
+    let rec rounds k =
+      if k = 0 then if cycle_period (retimed_graph ()) ~time <= period then Some r else None
+      else begin
+        let gr = retimed_graph () in
+        let depth = Paths.longest_to gr ~weight:time in
+        let changed = ref false in
+        for v = 0 to n - 1 do
+          if depth.(v) > period then begin
+            r.(v) <- r.(v) + 1;
+            changed := true
+          end
+        done;
+        if not !changed then Some r else rounds (k - 1)
+      end
+    in
+    rounds (n - 1)
+  end
+
+let min_cycle_period g ~time =
+  let n = Graph.num_nodes g in
+  if n = 0 then (0, [||])
+  else begin
+    let max_node_time =
+      let rec go v acc = if v < 0 then acc else go (v - 1) (max acc (time v)) in
+      go (n - 1) 0
+    in
+    let hi = cycle_period g ~time in
+    let rec search lo hi best =
+      (* Invariant: [hi] is always feasible with retiming [best]. *)
+      if lo >= hi then (hi, best)
+      else
+        let mid = (lo + hi) / 2 in
+        match feasible_retiming g ~time ~period:mid with
+        | Some r -> search lo mid r
+        | None -> search (mid + 1) hi best
+    in
+    search max_node_time hi (Array.make n 0)
+  end
+
+(* Bellman–Ford detection of a cycle with positive total weight, where edge
+   u -> v weighs time u - bound * delay. A positive cycle exists iff some
+   cycle has mean time/delay above [bound]. *)
+let has_positive_cycle g ~time bound =
+  let n = Graph.num_nodes g in
+  let dist = Array.make n 0.0 in
+  let edges = Graph.edges g in
+  let relax () =
+    List.fold_left
+      (fun changed { Graph.src; dst; delay } ->
+        let w = float_of_int (time src) -. (bound *. float_of_int delay) in
+        if dist.(src) +. w > dist.(dst) +. 1e-12 then begin
+          dist.(dst) <- dist.(src) +. w;
+          true
+        end
+        else changed)
+      false edges
+  in
+  let rec rounds k = if k = 0 then relax () else if relax () then rounds (k - 1) else false in
+  rounds n
+
+let iteration_bound g ~time =
+  (* At bound -1 every edge weighs time src + delay >= 0, strictly positive
+     on delayed edges, and every directed cycle carries a delay — so a
+     positive cycle exists at bound -1 iff the graph is cyclic at all. *)
+  if not (has_positive_cycle g ~time (-1.0)) then 0.0
+  else begin
+    let total_time =
+      let n = Graph.num_nodes g in
+      let rec go v acc = if v < 0 then acc else go (v - 1) (acc + time v) in
+      go (n - 1) 0
+    in
+    let rec bisect lo hi k =
+      if k = 0 then hi
+      else
+        let mid = (lo +. hi) /. 2.0 in
+        if has_positive_cycle g ~time mid then bisect mid hi (k - 1)
+        else bisect lo mid (k - 1)
+    in
+    bisect 0.0 (float_of_int (max total_time 1)) 60
+  end

@@ -1,0 +1,20 @@
+let to_dot ?label g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph dfg {\n  rankdir=TB;\n";
+  for v = 0 to Graph.num_nodes g - 1 do
+    let extra = match label with None -> "" | Some f -> "\\n" ^ f v in
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\\n(%s)%s\"];\n" v (Graph.name g v)
+         (Graph.op g v) extra)
+  done;
+  List.iter
+    (fun { Graph.src; dst; delay } ->
+      if delay = 0 then
+        Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" src dst)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [style=dashed,label=\"%d\"];\n" src
+             dst delay))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** Graphviz export. *)
+
+(** [to_dot ?label g] renders [g] in DOT syntax. Zero-delay edges are solid;
+    an edge with [d] delays is dashed and annotated ["d"]. [label v], when
+    given, appends extra text to node [v]'s label (e.g. the assigned FU
+    type). *)
+val to_dot : ?label:(int -> string) -> Graph.t -> string

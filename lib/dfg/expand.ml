@@ -1,0 +1,52 @@
+type tree = {
+  graph : Graph.t;
+  origin : int array;
+  copies : int list array;
+}
+
+exception Too_large of int
+
+let expand ?(max_nodes = 200_000) g =
+  let next_id = ref 0 in
+  let rev_names = ref [] and rev_ops = ref [] and rev_origin = ref [] in
+  let edges = ref [] in
+  let fresh_copy v =
+    let id = !next_id in
+    if id >= max_nodes then raise (Too_large max_nodes);
+    incr next_id;
+    rev_names := Graph.name g v :: !rev_names;
+    rev_ops := Graph.op g v :: !rev_ops;
+    rev_origin := v :: !rev_origin;
+    id
+  in
+  (* Clone the subtree of zero-delay descendants reachable from [v]. The DAG
+     portion is acyclic so this terminates; each call produces a fresh copy
+     of the whole sub-DAG unfolded into a tree. *)
+  let rec clone v =
+    let id = fresh_copy v in
+    List.iter
+      (fun w ->
+        let child = clone w in
+        edges := { Graph.src = id; dst = child; delay = 0 } :: !edges)
+      (Graph.dag_succs g v);
+    id
+  in
+  List.iter (fun r -> ignore (clone r)) (Graph.roots g);
+  let names = Array.of_list (List.rev !rev_names) in
+  let ops = Array.of_list (List.rev !rev_ops) in
+  let origin = Array.of_list (List.rev !rev_origin) in
+  let graph = Graph.of_edges ~names ~ops (List.rev !edges) in
+  let copies = Array.make (Graph.num_nodes g) [] in
+  for t = Array.length origin - 1 downto 0 do
+    copies.(origin.(t)) <- t :: copies.(origin.(t))
+  done;
+  { graph; origin; copies }
+
+let copy_count t v = List.length t.copies.(v)
+
+let duplicated_nodes t =
+  let rec collect v acc =
+    if v < 0 then acc
+    else collect (v - 1) (if copy_count t v > 1 then v :: acc else acc)
+  in
+  collect (Array.length t.copies - 1) []

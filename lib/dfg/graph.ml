@@ -1,0 +1,131 @@
+type edge = { src : int; dst : int; delay : int }
+
+type t = {
+  names : string array;
+  ops : string array;
+  succs : (int * int) list array;
+  preds : (int * int) list array;
+}
+
+let num_nodes g = Array.length g.names
+let name g v = g.names.(v)
+let op g v = g.ops.(v)
+let names g = Array.copy g.names
+let succs g v = g.succs.(v)
+let preds g v = g.preds.(v)
+
+let dag_succs g v =
+  List.filter_map (fun (w, d) -> if d = 0 then Some w else None) g.succs.(v)
+
+let dag_preds g v =
+  List.filter_map (fun (w, d) -> if d = 0 then Some w else None) g.preds.(v)
+
+let num_edges g = Array.fold_left (fun acc l -> acc + List.length l) 0 g.succs
+
+let edges g =
+  let acc = ref [] in
+  for src = num_nodes g - 1 downto 0 do
+    List.iter
+      (fun (dst, delay) -> acc := { src; dst; delay } :: !acc)
+      (List.rev g.succs.(src))
+  done;
+  !acc
+
+let dag_out_degree g v = List.length (dag_succs g v)
+let dag_in_degree g v = List.length (dag_preds g v)
+
+let roots g =
+  let rec collect v acc =
+    if v < 0 then acc
+    else collect (v - 1) (if dag_in_degree g v = 0 then v :: acc else acc)
+  in
+  collect (num_nodes g - 1) []
+
+let leaves g =
+  let rec collect v acc =
+    if v < 0 then acc
+    else collect (v - 1) (if dag_out_degree g v = 0 then v :: acc else acc)
+  in
+  collect (num_nodes g - 1) []
+
+let is_tree g =
+  let rec check v = v < 0 || (dag_in_degree g v <= 1 && check (v - 1)) in
+  check (num_nodes g - 1)
+
+let mem_edge g ~src ~dst = List.exists (fun (w, _) -> w = dst) g.succs.(src)
+
+(* Detect a cycle among zero-delay edges with an iterative three-colour DFS
+   (0 = white, 1 = grey, 2 = black); recursion could overflow on deep
+   generated graphs. *)
+let dag_portion_has_cycle g =
+  let n = num_nodes g in
+  let colour = Array.make n 0 in
+  let found = ref false in
+  let rec visit stack =
+    match stack with
+    | [] -> ()
+    | `Enter v :: rest ->
+        if colour.(v) = 1 then found := true;
+        if colour.(v) <> 0 || !found then visit rest
+        else begin
+          colour.(v) <- 1;
+          let children = List.map (fun w -> `Enter w) (dag_succs g v) in
+          visit (children @ (`Exit v :: rest))
+        end
+    | `Exit v :: rest ->
+        colour.(v) <- 2;
+        visit rest
+  in
+  let rec try_roots v =
+    if v >= n || !found then !found
+    else begin
+      if colour.(v) = 0 then visit [ `Enter v ];
+      try_roots (v + 1)
+    end
+  in
+  try_roots 0
+
+let of_edges ~names ?ops edge_list =
+  let n = Array.length names in
+  let ops =
+    match ops with
+    | Some o ->
+        if Array.length o <> n then
+          invalid_arg "Graph.of_edges: ops length mismatch";
+        Array.copy o
+    | None -> Array.make n "op"
+  in
+  let succs = Array.make n [] and preds = Array.make n [] in
+  let check_node v =
+    if v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Graph.of_edges: node %d out of range" v)
+  in
+  List.iter
+    (fun { src; dst; delay } ->
+      check_node src;
+      check_node dst;
+      if delay < 0 then invalid_arg "Graph.of_edges: negative delay";
+      if src = dst && delay = 0 then
+        invalid_arg "Graph.of_edges: zero-delay self-loop";
+      succs.(src) <- (dst, delay) :: succs.(src);
+      preds.(dst) <- (src, delay) :: preds.(dst))
+    edge_list;
+  Array.iteri (fun i l -> succs.(i) <- List.rev l) succs;
+  Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
+  let g = { names = Array.copy names; ops; succs; preds } in
+  if dag_portion_has_cycle g then
+    invalid_arg "Graph.of_edges: zero-delay subgraph contains a cycle";
+  g
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph (%d nodes, %d edges)" (num_nodes g)
+    (num_edges g);
+  for v = 0 to num_nodes g - 1 do
+    Format.fprintf ppf "@,  %s [%s] ->" (name g v) (op g v);
+    List.iter
+      (fun (w, d) ->
+        if d = 0 then Format.fprintf ppf " %s" (name g w)
+        else Format.fprintf ppf " %s(d=%d)" (name g w) d)
+      (succs g v)
+  done;
+  Format.fprintf ppf "@]"

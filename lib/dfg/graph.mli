@@ -1,0 +1,61 @@
+(** Data-flow graphs.
+
+    A DFG is a node-weighted directed graph whose edges carry a delay count:
+    zero-delay edges are intra-iteration (precedence) dependences, positive
+    delays are inter-iteration dependences. Assignment and scheduling operate
+    on the {e DAG portion} — the subgraph of zero-delay edges — which is
+    required to be acyclic.
+
+    Nodes are dense integer identifiers [0 .. num_nodes - 1]. Values of type
+    {!t} are immutable; use {!Builder} or {!of_edges} to construct them. *)
+
+type t
+
+type edge = { src : int; dst : int; delay : int }
+
+(** [of_edges ~names ?ops edges] builds a graph over nodes
+    [0 .. Array.length names - 1]. [ops.(v)] is a free-form operation kind
+    (e.g. ["mul"]) defaulting to ["op"]. Raises [Invalid_argument] on node
+    ids out of range, negative delays, self-loops with zero delay, or when
+    the zero-delay subgraph contains a cycle. *)
+val of_edges : names:string array -> ?ops:string array -> edge list -> t
+
+val num_nodes : t -> int
+val num_edges : t -> int
+val name : t -> int -> string
+val op : t -> int -> string
+val names : t -> string array
+
+(** Successors/predecessors in the full graph, as [(neighbour, delay)]
+    pairs in insertion order. *)
+val succs : t -> int -> (int * int) list
+
+val preds : t -> int -> (int * int) list
+
+(** Successors/predecessors restricted to the DAG portion (zero delay). *)
+val dag_succs : t -> int -> int list
+
+val dag_preds : t -> int -> int list
+
+val edges : t -> edge list
+
+(** Out-degree/in-degree in the DAG portion. *)
+val dag_out_degree : t -> int -> int
+
+val dag_in_degree : t -> int -> int
+
+(** Roots (no zero-delay parent) and leaves (no zero-delay child) of the DAG
+    portion, in increasing node order. *)
+val roots : t -> int list
+
+val leaves : t -> int list
+
+(** [is_tree g] is true when the DAG portion is a forest: every node has at
+    most one zero-delay parent. *)
+val is_tree : t -> bool
+
+(** [mem_edge g ~src ~dst] is true when some edge (any delay) links [src] to
+    [dst]. *)
+val mem_edge : t -> src:int -> dst:int -> bool
+
+val pp : Format.formatter -> t -> unit

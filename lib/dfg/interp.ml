@@ -1,0 +1,54 @@
+let apply op operands =
+  match (op, operands) with
+  | _, [] -> 0
+  | "add", x :: rest -> List.fold_left ( + ) x rest
+  | "sub", x :: rest -> List.fold_left ( - ) x rest
+  | "mul", x :: rest -> List.fold_left ( * ) x rest
+  | "comp", [ _ ] -> 0
+  | "comp", x :: rest -> if x < List.fold_left min max_int rest then 1 else 0
+  | _, x :: rest -> List.fold_left ( lxor ) x rest
+
+let run g ~iterations ~input =
+  if iterations < 0 then invalid_arg "Interp.run: negative iterations";
+  let n = Graph.num_nodes g in
+  let out = Array.init n (fun _ -> Array.make iterations 0) in
+  let order = Topo.sort g in
+  for i = 0 to iterations - 1 do
+    List.iter
+      (fun v ->
+        let value =
+          if Graph.preds g v = [] then input v i
+          else
+            let operands =
+              List.map
+                (fun (u, delay) ->
+                  let j = i - delay in
+                  if j < 0 then 0 (* initial edge values *)
+                  else out.(u).(j))
+                (Graph.preds g v)
+            in
+            apply (Graph.op g v) operands
+        in
+        out.(v).(i) <- value)
+      order
+  done;
+  out
+
+let equivalent_unfolding g ~factor ~iterations ~input =
+  let unfolded = Unfold.unfold g ~factor in
+  let original = run g ~iterations:(iterations * factor) ~input in
+  let copy_input id i =
+    (* copy j of source v at super-iteration i is iteration i*f + j *)
+    input (id / factor) ((i * factor) + (id mod factor))
+  in
+  let streams = run unfolded ~iterations ~input:copy_input in
+  let ok = ref true in
+  for v = 0 to Graph.num_nodes g - 1 do
+    for j = 0 to factor - 1 do
+      for i = 0 to iterations - 1 do
+        if streams.((v * factor) + j).(i) <> original.(v).((i * factor) + j)
+        then ok := false
+      done
+    done
+  done;
+  !ok

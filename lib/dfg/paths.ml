@@ -1,0 +1,52 @@
+let longest_from g ~weight =
+  let n = Graph.num_nodes g in
+  let best = Array.make n 0 in
+  List.iter
+    (fun v ->
+      let tail =
+        List.fold_left (fun acc w -> max acc best.(w)) 0 (Graph.dag_succs g v)
+      in
+      let wv = weight v in
+      if wv < 0 then invalid_arg "Paths: negative weight";
+      best.(v) <- wv + tail)
+    (Topo.post_order g);
+  best
+
+let longest_to g ~weight =
+  let n = Graph.num_nodes g in
+  let best = Array.make n 0 in
+  List.iter
+    (fun v ->
+      let head =
+        List.fold_left (fun acc p -> max acc best.(p)) 0 (Graph.dag_preds g v)
+      in
+      let wv = weight v in
+      if wv < 0 then invalid_arg "Paths: negative weight";
+      best.(v) <- wv + head)
+    (Topo.sort g);
+  best
+
+let longest_path g ~weight =
+  let from = longest_from g ~weight in
+  List.fold_left (fun acc r -> max acc from.(r)) 0 (Graph.roots g)
+
+let critical_paths g =
+  let rec extend v =
+    match Graph.dag_succs g v with
+    | [] -> [ [ v ] ]
+    | succs ->
+        List.concat_map (fun w -> List.map (fun p -> v :: p) (extend w)) succs
+  in
+  List.concat_map extend (Graph.roots g)
+
+let count_critical_paths g =
+  let n = Graph.num_nodes g in
+  let count = Array.make n 0 in
+  List.iter
+    (fun v ->
+      count.(v) <-
+        (match Graph.dag_succs g v with
+        | [] -> 1
+        | succs -> List.fold_left (fun acc w -> acc + count.(w)) 0 succs))
+    (Topo.post_order g);
+  List.fold_left (fun acc r -> acc + count.(r)) 0 (Graph.roots g)

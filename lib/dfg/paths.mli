@@ -1,0 +1,27 @@
+(** Critical-path computations on the DAG portion.
+
+    A {e critical path} is any path from a root to a leaf of the zero-delay
+    subgraph; the timing constraint of the assignment problem bounds the sum
+    of node execution times along every such path. *)
+
+(** [longest_path g ~weight] is the maximum over critical paths of the sum of
+    [weight v] along the path (0 for the empty graph). Weights must be
+    non-negative. *)
+val longest_path : Graph.t -> weight:(int -> int) -> int
+
+(** [longest_from g ~weight] gives, per node, the heaviest weight of a path
+    from that node to any leaf, {e including} the node's own weight. *)
+val longest_from : Graph.t -> weight:(int -> int) -> int array
+
+(** [longest_to g ~weight] gives, per node, the heaviest weight of a path
+    from any root to that node, {e including} the node's own weight. *)
+val longest_to : Graph.t -> weight:(int -> int) -> int array
+
+(** [critical_paths g] enumerates all root-to-leaf paths of the DAG portion
+    as node lists. Exponential in the worst case; intended for tests and
+    small benchmark graphs. *)
+val critical_paths : Graph.t -> int list list
+
+(** [count_critical_paths g] counts root-to-leaf paths without enumerating
+    them. *)
+val count_critical_paths : Graph.t -> int

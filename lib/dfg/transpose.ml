@@ -1,0 +1,9 @@
+let transpose g =
+  let names = Graph.names g in
+  let ops = Array.init (Graph.num_nodes g) (fun v -> Graph.op g v) in
+  let edges =
+    List.map
+      (fun { Graph.src; dst; delay } -> { Graph.src = dst; dst = src; delay })
+      (Graph.edges g)
+  in
+  Graph.of_edges ~names ~ops edges

@@ -1,0 +1,6 @@
+(** Graph transposition. *)
+
+(** [transpose g] reverses every edge (delays preserved). Node ids, names and
+    operations are unchanged. Critical-path sums are invariant under
+    transposition, which is why assignment may run on either orientation. *)
+val transpose : Graph.t -> Graph.t

@@ -1,0 +1,26 @@
+let unfold g ~factor =
+  if factor < 1 then invalid_arg "Unfold.unfold: factor < 1";
+  let n = Graph.num_nodes g in
+  let copy v i = (v * factor) + i in
+  let names =
+    Array.init (n * factor) (fun id ->
+        Printf.sprintf "%s#%d" (Graph.name g (id / factor)) (id mod factor))
+  in
+  let ops = Array.init (n * factor) (fun id -> Graph.op g (id / factor)) in
+  (* build destination-major so every copy keeps the original predecessor
+     order — operand order matters to order-sensitive operations (sub,
+     comp) and must survive unfolding *)
+  let edges = ref [] in
+  for dst = n - 1 downto 0 do
+    for j = factor - 1 downto 0 do
+      List.iter
+        (fun (src, delay) ->
+          let i = (((j - delay) mod factor) + factor) mod factor in
+          let unfolded_delay = (i + delay - j) / factor in
+          edges :=
+            { Graph.src = copy src i; dst = copy dst j; delay = unfolded_delay }
+            :: !edges)
+        (List.rev (Graph.preds g dst))
+    done
+  done;
+  Graph.of_edges ~names ~ops !edges

@@ -1,0 +1,50 @@
+(** End-to-end compilation: netlist in, reports + RTL out.
+
+    Runs the full two-phase synthesis on an instance and writes a small
+    output directory — the artefacts a user of an HLS tool expects:
+
+    - [report.txt] — assignment, schedule, configuration, per-FU timelines,
+      register bound, interconnect statistics;
+    - [schedule.csv] — one row per operation (start, finish, FU, operands);
+    - [datapath.v] — behavioural Verilog of the bound datapath;
+    - [datapath_tb.v] — a self-checking testbench for it (golden values
+      from the {!Dfg.Interp} functional model);
+    - [trace.vcd] — a two-iteration waveform (step counter, per-FU busy
+      bits, per-operation activity) for any VCD viewer;
+    - [schedule.svg] — a figure-quality Gantt chart of the bound schedule;
+    - [graph.dot] — the DFG annotated with the chosen FU types;
+    - [frontier.csv] — the cost/deadline staircase up to the chosen
+      deadline. *)
+
+type summary = {
+  outdir : string;
+  cost : int;
+  makespan : int;
+  config : Sched.Config.t;
+  registers : int;
+  mux_inputs : int;
+  files : string list;  (** paths written, in the order above *)
+}
+
+(** [compile ?algorithm ?deadline g table ~outdir] (algorithm defaults to
+    [Repeat], deadline to 1.2x the minimum). Creates [outdir] if needed.
+    [None] when the deadline is infeasible. *)
+val compile :
+  ?algorithm:Core.Synthesis.algorithm ->
+  ?deadline:int ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  outdir:string ->
+  summary option
+
+(** [compile_file ?algorithm ?deadline ?seed ~outdir path] loads a netlist
+    ({!Netlist}); when the file carries no [fu-types] table, a seeded
+    random one is generated ([seed] defaults to 42). Raises
+    [Netlist.Parse_error] on malformed input. *)
+val compile_file :
+  ?algorithm:Core.Synthesis.algorithm ->
+  ?deadline:int ->
+  ?seed:int ->
+  outdir:string ->
+  string ->
+  summary option

@@ -1,0 +1,12 @@
+type t = { names : string array }
+
+let make names =
+  if Array.length names = 0 then invalid_arg "Library.make: no FU types";
+  { names = Array.copy names }
+
+let num_types t = Array.length t.names
+let type_name t k = t.names.(k)
+let standard3 = make [| "P1"; "P2"; "P3" |]
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}" (String.concat ", " (Array.to_list t.names))

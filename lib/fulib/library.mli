@@ -1,0 +1,20 @@
+(** Catalogues of heterogeneous functional-unit types.
+
+    A library is an ordered set of FU types; the convention throughout the
+    repository (and the paper) is that lower-indexed types are faster and
+    more expensive. Types are referred to by dense index [0 .. K-1]. *)
+
+type t
+
+(** [make names] builds a library from type names (e.g. [[|"P1"; "P2"|]]).
+    Raises [Invalid_argument] when empty. *)
+val make : string array -> t
+
+val num_types : t -> int
+val type_name : t -> int -> string
+
+(** The paper's three-type library [P1] (fastest, most expensive), [P2],
+    [P3] (slowest, cheapest). *)
+val standard3 : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+type t = {
+  library : Library.t;
+  time : int array array;
+  cost : int array array;
+}
+
+let make ~library ~time ~cost =
+  let n = Array.length time and k = Library.num_types library in
+  if Array.length cost <> n then
+    invalid_arg "Table.make: time/cost row counts differ";
+  let check_row what row =
+    if Array.length row <> k then
+      invalid_arg (Printf.sprintf "Table.make: %s row has wrong width" what)
+  in
+  Array.iter
+    (fun row ->
+      check_row "time" row;
+      Array.iter
+        (fun x -> if x < 1 then invalid_arg "Table.make: time < 1")
+        row)
+    time;
+  Array.iter
+    (fun row ->
+      check_row "cost" row;
+      Array.iter
+        (fun x -> if x < 0 then invalid_arg "Table.make: negative cost")
+        row)
+    cost;
+  {
+    library;
+    time = Array.map Array.copy time;
+    cost = Array.map Array.copy cost;
+  }
+
+let library t = t.library
+let num_nodes t = Array.length t.time
+let num_types t = Library.num_types t.library
+let time t ~node ~ftype = t.time.(node).(ftype)
+let cost t ~node ~ftype = t.cost.(node).(ftype)
+
+let arg_min row =
+  let best = ref 0 in
+  for k = 1 to Array.length row - 1 do
+    if row.(k) < row.(!best) then best := k
+  done;
+  !best
+
+let min_time_type t v = arg_min t.time.(v)
+let min_time t v = t.time.(v).(min_time_type t v)
+let min_cost_type t v = arg_min t.cost.(v)
+let min_cost t v = t.cost.(v).(min_cost_type t v)
+
+let pin t ~node ~ftype =
+  let k = num_types t in
+  let time = Array.map Array.copy t.time in
+  let cost = Array.map Array.copy t.cost in
+  time.(node) <- Array.make k t.time.(node).(ftype);
+  cost.(node) <- Array.make k t.cost.(node).(ftype);
+  { t with time; cost }
+
+let project t ~origin =
+  {
+    t with
+    time = Array.map (fun v -> Array.copy t.time.(v)) origin;
+    cost = Array.map (fun v -> Array.copy t.cost.(v)) origin;
+  }
+
+let pp ~names ppf t =
+  let k = num_types t in
+  Format.fprintf ppf "@[<v>%-8s" "Nodes";
+  for j = 0 to k - 1 do
+    Format.fprintf ppf "  %4s T/C" (Library.type_name t.library j)
+  done;
+  for v = 0 to num_nodes t - 1 do
+    Format.fprintf ppf "@,%-8s" names.(v);
+    for j = 0 to k - 1 do
+      Format.fprintf ppf "  %4d/%-3d" t.time.(v).(j) t.cost.(v).(j)
+    done
+  done;
+  Format.fprintf ppf "@]"

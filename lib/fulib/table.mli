@@ -1,0 +1,42 @@
+(** Per-node execution time and cost tables.
+
+    [time ~node ~ftype] and [cost ~node ~ftype] give node [node]'s execution
+    time (control steps, at least 1) and execution cost (non-negative energy
+    / reliability / monetary units) on FU type [ftype]. *)
+
+type t
+
+(** [make ~library ~time ~cost] with [time.(v).(k)] / [cost.(v).(k)] indexed
+    node-major. Raises [Invalid_argument] on dimension mismatches, times
+    < 1, or negative costs. *)
+val make : library:Library.t -> time:int array array -> cost:int array array -> t
+
+val library : t -> Library.t
+val num_nodes : t -> int
+val num_types : t -> int
+val time : t -> node:int -> ftype:int -> int
+val cost : t -> node:int -> ftype:int -> int
+
+(** Fastest achievable execution time of a node, and a type attaining it
+    (smallest index on ties). *)
+val min_time : t -> int -> int
+
+val min_time_type : t -> int -> int
+
+(** Cheapest cost of a node, and a type attaining it. *)
+val min_cost : t -> int -> int
+
+val min_cost_type : t -> int -> int
+
+(** [pin t ~node ~ftype] returns a table in which [node]'s row is collapsed
+    to the pinned type: every type choice now has the pinned time and cost,
+    so any assignment of [node] is equivalent to choosing [ftype]. This is
+    how [DFG_Assign_Repeat] fixes duplicated nodes. *)
+val pin : t -> node:int -> ftype:int -> t
+
+(** [project t ~origin] builds the table for an expanded tree: tree node [i]
+    gets original node [origin.(i)]'s row. *)
+val project : t -> origin:int array -> t
+
+(** Render as the paper's Figure-1-style table. [names.(v)] labels row [v]. *)
+val pp : names:string array -> Format.formatter -> t -> unit

@@ -1,0 +1,155 @@
+exception Parse_error of int * string
+
+let to_string ?table g =
+  let buf = Buffer.create 1024 in
+  (match table with
+  | Some t ->
+      let lib = Fulib.Table.library t in
+      Buffer.add_string buf "fu-types";
+      for k = 0 to Fulib.Library.num_types lib - 1 do
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Fulib.Library.type_name lib k)
+      done;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  for v = 0 to Dfg.Graph.num_nodes g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "node %s %s" (Dfg.Graph.name g v) (Dfg.Graph.op g v));
+    (match table with
+    | Some t ->
+        for k = 0 to Fulib.Table.num_types t - 1 do
+          Buffer.add_string buf
+            (Printf.sprintf " %d/%d"
+               (Fulib.Table.time t ~node:v ~ftype:k)
+               (Fulib.Table.cost t ~node:v ~ftype:k))
+        done
+    | None -> ());
+    Buffer.add_char buf '\n'
+  done;
+  List.iter
+    (fun { Dfg.Graph.src; dst; delay } ->
+      if delay = 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "edge %s %s\n" (Dfg.Graph.name g src)
+             (Dfg.Graph.name g dst))
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "edge %s %s delay %d\n" (Dfg.Graph.name g src)
+             (Dfg.Graph.name g dst) delay))
+    (Dfg.Graph.edges g);
+  Buffer.contents buf
+
+let split_ws s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun w -> w <> "")
+
+let parse_pair lineno w =
+  match String.split_on_char '/' w with
+  | [ t; c ] -> (
+      match (int_of_string_opt t, int_of_string_opt c) with
+      | Some t, Some c -> (t, c)
+      | _ -> raise (Parse_error (lineno, "malformed time/cost pair " ^ w)))
+  | _ -> raise (Parse_error (lineno, "malformed time/cost pair " ^ w))
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let fu_types = ref None in
+  let nodes = ref [] (* (name, op, pairs) in reverse *) in
+  let edges = ref [] (* (src, dst, delay, lineno) in reverse *) in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some j -> String.sub line 0 j
+        | None -> line
+      in
+      match split_ws line with
+      | [] -> ()
+      | "fu-types" :: names ->
+          if !fu_types <> None then
+            raise (Parse_error (lineno, "duplicate fu-types line"));
+          if names = [] then raise (Parse_error (lineno, "fu-types needs names"));
+          if !nodes <> [] then
+            raise (Parse_error (lineno, "fu-types must precede node lines"));
+          fu_types := Some names
+      | "node" :: name :: op :: pairs ->
+          let expected =
+            match !fu_types with Some ts -> List.length ts | None -> 0
+          in
+          if List.length pairs <> expected then
+            raise
+              (Parse_error
+                 ( lineno,
+                   Printf.sprintf "expected %d time/cost pairs, got %d" expected
+                     (List.length pairs) ));
+          nodes := (name, op, List.map (parse_pair lineno) pairs, lineno) :: !nodes
+      | [ "edge"; src; dst ] -> edges := (src, dst, 0, lineno) :: !edges
+      | [ "edge"; src; dst; "delay"; d ] -> (
+          match int_of_string_opt d with
+          | Some d -> edges := (src, dst, d, lineno) :: !edges
+          | None -> raise (Parse_error (lineno, "malformed delay " ^ d)))
+      | w :: _ -> raise (Parse_error (lineno, "unknown directive " ^ w)))
+    lines;
+  let nodes = List.rev !nodes in
+  let index = Hashtbl.create 16 in
+  List.iteri
+    (fun i (name, _, _, lineno) ->
+      if Hashtbl.mem index name then
+        raise (Parse_error (lineno, "duplicate node name " ^ name));
+      Hashtbl.replace index name i)
+    nodes;
+  let names = Array.of_list (List.map (fun (n, _, _, _) -> n) nodes) in
+  let ops = Array.of_list (List.map (fun (_, o, _, _) -> o) nodes) in
+  let resolve lineno name =
+    match Hashtbl.find_opt index name with
+    | Some v -> v
+    | None -> raise (Parse_error (lineno, "undefined node " ^ name))
+  in
+  let edge_list =
+    List.rev_map
+      (fun (src, dst, delay, lineno) ->
+        let e =
+          { Dfg.Graph.src = resolve lineno src; dst = resolve lineno dst; delay }
+        in
+        if e.Dfg.Graph.src = e.Dfg.Graph.dst && delay = 0 then
+          raise (Parse_error (lineno, "zero-delay self-loop on " ^ src));
+        if delay < 0 then raise (Parse_error (lineno, "negative delay"));
+        (e, lineno))
+      !edges
+  in
+  let graph =
+    try Dfg.Graph.of_edges ~names ~ops (List.map fst edge_list)
+    with Invalid_argument msg -> raise (Parse_error (0, msg))
+  in
+  let table =
+    match !fu_types with
+    | None -> None
+    | Some type_names ->
+        let library = Fulib.Library.make (Array.of_list type_names) in
+        let time =
+          Array.of_list
+            (List.map (fun (_, _, pairs, _) -> Array.of_list (List.map fst pairs)) nodes)
+        in
+        let cost =
+          Array.of_list
+            (List.map (fun (_, _, pairs, _) -> Array.of_list (List.map snd pairs)) nodes)
+        in
+        Some
+          (try Fulib.Table.make ~library ~time ~cost
+           with Invalid_argument msg -> raise (Parse_error (0, msg)))
+  in
+  (graph, table)
+
+let save ~path ?table g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?table g))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,73 @@
+type operation = {
+  node : int;
+  fu_type : int;
+  fu_instance : int;
+  start : int;
+  finish : int;
+  operands : int list;
+  is_input : bool;
+  is_output : bool;
+}
+
+type t = {
+  operations : operation array;
+  period : int;
+  config : Sched.Config.t;
+  shared_registers : int;
+}
+
+let build g table s =
+  let binding = Sched.Binding.bind table s in
+  let _, shared_registers = Sched.Registers.allocate g table s in
+  let operations =
+    Array.init (Dfg.Graph.num_nodes g) (fun node ->
+        let producers = List.map fst (Dfg.Graph.preds g node) in
+        {
+          node;
+          fu_type = s.Sched.Schedule.assignment.(node);
+          fu_instance = binding.Sched.Binding.instance.(node);
+          start = s.Sched.Schedule.start.(node);
+          finish =
+            s.Sched.Schedule.start.(node)
+            + Fulib.Table.time table ~node
+                ~ftype:s.Sched.Schedule.assignment.(node);
+          operands = producers;
+          is_input = producers = [];
+          is_output = Dfg.Graph.dag_succs g node = [];
+        })
+  in
+  {
+    operations;
+    period = Sched.Schedule.length table s;
+    config = binding.Sched.Binding.config;
+    shared_registers;
+  }
+
+type interconnect = {
+  mux_count : int;
+  mux_inputs : int;
+}
+
+let interconnect dp =
+  (* distinct sources per (type, instance, operand slot) *)
+  let sources = Hashtbl.create 32 in
+  Array.iter
+    (fun op ->
+      List.iteri
+        (fun slot producer ->
+          let key = (op.fu_type, op.fu_instance, slot) in
+          let existing =
+            try Hashtbl.find sources key with Not_found -> []
+          in
+          if not (List.mem producer existing) then
+            Hashtbl.replace sources key (producer :: existing))
+        op.operands)
+    dp.operations;
+  Hashtbl.fold
+    (fun _ srcs acc ->
+      let fanin = List.length srcs in
+      if fanin >= 2 then
+        { mux_count = acc.mux_count + 1; mux_inputs = acc.mux_inputs + fanin }
+      else acc)
+    sources
+    { mux_count = 0; mux_inputs = 0 }

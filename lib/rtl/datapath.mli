@@ -1,0 +1,44 @@
+(** Datapath construction: from a bound schedule to the structural view a
+    hardware back end needs.
+
+    High-level synthesis ends in hardware: FU instances executing the
+    operations the binding gives them, one result register per operation
+    (values crossing iterations simply stay in their register, which makes
+    the DFG's delay edges free), operand multiplexers in front of each FU
+    operand port, and an FSM controller stepping through the schedule's
+    control steps (wrapping, so the datapath implements the static cyclic
+    schedule).
+
+    The interconnect statistics quantify the muxing cost that FU sharing
+    introduces — the quantity Figure-3-style configuration choices trade
+    against FU count. *)
+
+type operation = {
+  node : int;
+  fu_type : int;
+  fu_instance : int;
+  start : int;
+  finish : int;  (** first step after completion *)
+  operands : int list;  (** producing nodes, in edge order (any delay) *)
+  is_input : bool;  (** no producers: fed by an external input port *)
+  is_output : bool;  (** no zero-delay consumers: visible result *)
+}
+
+type t = {
+  operations : operation array;  (** indexed by node *)
+  period : int;  (** schedule length = FSM modulus *)
+  config : Sched.Config.t;  (** FU instances per type *)
+  shared_registers : int;
+      (** registers after left-edge sharing ({!Sched.Registers}) *)
+}
+
+val build :
+  Dfg.Graph.t -> Fulib.Table.t -> Sched.Schedule.t -> t
+
+type interconnect = {
+  mux_count : int;  (** operand ports needing a mux (≥ 2 sources) *)
+  mux_inputs : int;  (** total mux fan-in across those ports *)
+}
+
+(** Distinct-source analysis per (FU instance, operand position). *)
+val interconnect : t -> interconnect

@@ -1,0 +1,75 @@
+let palette =
+  [| "#4e79a7"; "#f28e2b"; "#59a14f"; "#e15759"; "#b07aa1"; "#76b7b2" |]
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render ?(cell_width = 28) ?(lane_height = 26) ~graph ~table s =
+  let binding = Sched.Binding.bind table s in
+  let len = max (Sched.Schedule.length table s) 1 in
+  let lib = Fulib.Table.library table in
+  let k = Fulib.Table.num_types table in
+  let label_width = 70 in
+  let lanes = Array.fold_left ( + ) 0 binding.Sched.Binding.config in
+  let width = label_width + (len * cell_width) + 10 in
+  let height = ((lanes + 1) * lane_height) + 30 in
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     font-family=\"monospace\" font-size=\"11\">\n"
+    width height;
+  add "<rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n" width height;
+  (* step grid and axis labels *)
+  for step = 0 to len do
+    let x = label_width + (step * cell_width) in
+    add
+      "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#ddd\"/>\n"
+      x lane_height x (height - 20);
+    if step < len then
+      add "<text x=\"%d\" y=\"%d\" fill=\"#666\">%d</text>\n"
+        (x + (cell_width / 3))
+        (lane_height - 8) step
+  done;
+  (* lanes *)
+  let lane = ref 0 in
+  for t = 0 to k - 1 do
+    for i = 0 to binding.Sched.Binding.config.(t) - 1 do
+      let y = lane_height + (!lane * lane_height) in
+      add "<text x=\"4\" y=\"%d\">%s[%d]</text>\n"
+        (y + (lane_height / 2) + 4)
+        (escape (Fulib.Library.type_name lib t))
+        i;
+      Array.iteri
+        (fun v ftype ->
+          if ftype = t && binding.Sched.Binding.instance.(v) = i then begin
+            let start = s.Sched.Schedule.start.(v) in
+            let d = Fulib.Table.time table ~node:v ~ftype in
+            let x = label_width + (start * cell_width) in
+            add
+              "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" rx=\"3\" \
+               fill=\"%s\" fill-opacity=\"0.85\" stroke=\"#333\"/>\n"
+              x (y + 2)
+              ((d * cell_width) - 2)
+              (lane_height - 4)
+              palette.(t mod Array.length palette);
+            add "<text x=\"%d\" y=\"%d\" fill=\"white\">%s</text>\n" (x + 4)
+              (y + (lane_height / 2) + 4)
+              (escape (Dfg.Graph.name graph v))
+          end)
+        s.Sched.Schedule.assignment;
+      incr lane
+    done
+  done;
+  add "</svg>\n";
+  Buffer.contents buf

@@ -1,0 +1,16 @@
+(** SVG rendering of a bound schedule — the figure-quality counterpart of
+    {!Sched.Gantt}'s ASCII chart.
+
+    One horizontal lane per FU instance, one rectangle per operation
+    (labelled with the node name), a step grid, and a colour per FU type.
+    Plain SVG 1.1, no scripts; opens in any browser and embeds in papers. *)
+
+(** [render ?cell_width ?lane_height ~graph ~table schedule] (defaults:
+    28 x 26 pixels). The binding is computed with [Sched.Binding.bind]. *)
+val render :
+  ?cell_width:int ->
+  ?lane_height:int ->
+  graph:Dfg.Graph.t ->
+  table:Fulib.Table.t ->
+  Sched.Schedule.t ->
+  string

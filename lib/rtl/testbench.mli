@@ -1,0 +1,35 @@
+(** Self-checking Verilog testbench generation.
+
+    The golden model is {!Dfg.Interp}: the testbench drives each input port
+    with the same stream the interpreter was fed, lets the datapath run one
+    period per iteration, and compares every output port against the
+    interpreter's value for that iteration (masked to the data width, since
+    RTL arithmetic wraps modulo [2^W]). On mismatch it prints a line per
+    failing sample; it always ends with [TESTBENCH PASSED] or
+    [TESTBENCH FAILED: n errors] and [$finish]es, so any Verilog simulator
+    can run it unattended.
+
+    Caveats, stated for honesty rather than hedging: Verilog compares
+    vectors unsigned, so a [comp] node observing values that wrap past the
+    signed range may disagree with the interpreter — keep stimulus small
+    relative to the width (the default generator draws 0..7); and parallel
+    edges between one producer/consumer pair with different delay counts
+    read through the smallest delay in the emitted datapath. *)
+
+(** [emit ?module_name ?width g table dp ~iterations ~input] renders a
+    standalone testbench instantiating [module_name] (defaults matching
+    {!Verilog.emit}). [input v i] must be the stimulus used for source
+    node [v] at iteration [i]; expected outputs are computed internally
+    with {!Dfg.Interp.run}. *)
+val emit :
+  ?module_name:string ->
+  ?width:int ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  Datapath.t ->
+  iterations:int ->
+  input:(int -> int -> int) ->
+  string
+(** The table argument is accepted for interface symmetry with
+    {!Verilog.emit}; the stimulus/expectation logic needs only the graph
+    and the datapath. *)

@@ -1,0 +1,21 @@
+(** Value-change-dump (VCD) traces of cyclic schedule execution.
+
+    Renders the waveform a hardware engineer would inspect: the control-step
+    counter, one busy bit per FU instance, and one active bit per operation,
+    over a given number of overlapped iterations of the static schedule.
+    Any VCD viewer (GTKWave etc.) opens the output.
+
+    Timescale is one time unit per control step; iteration [i] starts at
+    [i * period]. *)
+
+(** [trace ?iterations g table schedule binding ~period] renders the VCD
+    text ([iterations] defaults to 2). Raises [Invalid_argument] on a
+    non-positive period or iteration count. *)
+val trace :
+  ?iterations:int ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  Sched.Schedule.t ->
+  Sched.Binding.t ->
+  period:int ->
+  string

@@ -1,0 +1,42 @@
+(** Behavioural Verilog emission of a datapath.
+
+    One synthesizable module: a free-running control-step counter (modulo
+    the schedule period, i.e. the static cyclic schedule), one result
+    register per operation, external input ports for operations without
+    producers and output ports for operations without zero-delay consumers.
+    Each operation's register captures its expression on the clock edge
+    ending its last execution step, by which point every operand register
+    is stable — multi-cycle operations simply wait for their finish step.
+    A consumer behind [d] delays must read the value from [d] iterations
+    back, so every node with delayed consumers also drives a [d]-deep
+    history shift chain advanced on the edge ending the period (a node
+    finishing exactly at the period end forwards its freshly computed
+    value into the chain, since its result register updates on the same
+    edge).
+    FU sharing is reflected in the comment structure (operations grouped by
+    the FU instance the binding gave them); operators map as
+    [add -> +], [sub -> -], [mul -> *], [comp -> <], anything else to
+    [^] (documented placeholder).
+
+    Reset ([rst]) zeroes the step counter and every data/history register,
+    matching {!Dfg.Interp}'s zero initial values — which makes the module
+    directly checkable against the interpreter ({!Testbench}).
+
+    The emitted text is plain Verilog-2001 with no vendor constructs. *)
+
+(** [emit ?module_name ?width g table datapath] renders the module
+    ([module_name] defaults to ["hetsched_datapath"], data [width] to 16
+    bits). Port and register names derive from node names, sanitised to
+    identifier characters. *)
+val emit :
+  ?module_name:string ->
+  ?width:int ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  Datapath.t ->
+  string
+
+(** The identifier sanitiser used for ports and registers (non-alphanumeric
+    characters become underscores, a leading digit gains an [n_] prefix);
+    exposed so {!Testbench} names its nets identically. *)
+val sanitize : string -> string

@@ -1,0 +1,35 @@
+let node_time table a v = Fulib.Table.time table ~node:v ~ftype:a.(v)
+
+let asap g table a =
+  let n = Dfg.Graph.num_nodes g in
+  let start = Array.make n 0 in
+  List.iter
+    (fun v ->
+      let ready =
+        List.fold_left
+          (fun acc p -> max acc (start.(p) + node_time table a p))
+          0 (Dfg.Graph.dag_preds g v)
+      in
+      start.(v) <- ready)
+    (Dfg.Topo.sort g);
+  start
+
+let alap g table a ~deadline =
+  let n = Dfg.Graph.num_nodes g in
+  let start = Array.make n 0 in
+  let feasible = ref true in
+  List.iter
+    (fun v ->
+      let latest_finish =
+        List.fold_left
+          (fun acc s -> min acc start.(s))
+          deadline (Dfg.Graph.dag_succs g v)
+      in
+      start.(v) <- latest_finish - node_time table a v;
+      if start.(v) < 0 then feasible := false)
+    (Dfg.Topo.post_order g);
+  if !feasible then Some start else None
+
+let slack g table a ~deadline =
+  let early = asap g table a in
+  Option.map (Array.map2 (fun e l -> l - e) early) (alap g table a ~deadline)

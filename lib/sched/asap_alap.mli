@@ -1,0 +1,23 @@
+(** ASAP and ALAP start times under an assignment. *)
+
+(** [asap g table a] gives each node its earliest start: 0 for roots,
+    otherwise the latest predecessor finish. *)
+val asap : Dfg.Graph.t -> Fulib.Table.t -> Assign.Assignment.t -> int array
+
+(** [alap g table a ~deadline] gives each node its latest start that still
+    meets [deadline]. [None] when the assignment's makespan exceeds the
+    deadline (some ALAP start would precede step 0). *)
+val alap :
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  Assign.Assignment.t ->
+  deadline:int ->
+  int array option
+
+(** [slack g table a ~deadline] is [alap - asap] per node. *)
+val slack :
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  Assign.Assignment.t ->
+  deadline:int ->
+  int array option

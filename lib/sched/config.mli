@@ -1,0 +1,15 @@
+(** FU configurations: how many instances of each FU type a design uses.
+
+    Printed in the paper's Table-1 notation: ["2-1-3"] means two FUs of the
+    first type, one of the second, three of the third. *)
+
+type t = int array
+
+val total : t -> int
+
+(** [dominates c c'] is true when [c] has at least as many FUs of every
+    type as [c']. *)
+val dominates : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,115 @@
+(* Frames are recomputed from scratch after each fixing: [est]/[lst] are
+   ASAP/ALAP starts honouring every already-fixed node. Graphs here are a
+   few dozen nodes, so clarity wins over incremental updates. *)
+
+let frames g table a ~deadline ~fixed =
+  let n = Dfg.Graph.num_nodes g in
+  let time v = Fulib.Table.time table ~node:v ~ftype:a.(v) in
+  let est = Array.make n 0 and lst = Array.make n 0 in
+  let ok = ref true in
+  List.iter
+    (fun v ->
+      let ready =
+        List.fold_left
+          (fun acc p -> max acc (est.(p) + time p))
+          0 (Dfg.Graph.dag_preds g v)
+      in
+      est.(v) <- (match fixed.(v) with
+        | Some s -> if s < ready then (ok := false; ready) else s
+        | None -> ready))
+    (Dfg.Topo.sort g);
+  List.iter
+    (fun v ->
+      let latest_finish =
+        List.fold_left
+          (fun acc s -> min acc lst.(s))
+          deadline (Dfg.Graph.dag_succs g v)
+      in
+      let latest = latest_finish - time v in
+      lst.(v) <- (match fixed.(v) with
+        | Some s -> if s > latest then (ok := false; latest) else s
+        | None -> latest);
+      if lst.(v) < est.(v) then ok := false)
+    (Dfg.Topo.post_order g);
+  if !ok then Some (est, lst) else None
+
+(* Distribution graphs: dg.(t).(s) = expected number of type-t nodes busy
+   in step s, each node's start spread uniformly over its frame. *)
+let distribution g table a ~deadline (est, lst) =
+  let n = Dfg.Graph.num_nodes g in
+  let k = Fulib.Table.num_types table in
+  let dg = Array.make_matrix k deadline 0.0 in
+  for v = 0 to n - 1 do
+    let t = Fulib.Table.time table ~node:v ~ftype:a.(v) in
+    let width = lst.(v) - est.(v) + 1 in
+    let p = 1.0 /. float_of_int width in
+    for start = est.(v) to lst.(v) do
+      for s = start to min (start + t - 1) (deadline - 1) do
+        dg.(a.(v)).(s) <- dg.(a.(v)).(s) +. p
+      done
+    done
+  done;
+  dg
+
+let run g table a ~deadline =
+  let n = Dfg.Graph.num_nodes g in
+  match Lower_bound.per_type g table a ~deadline with
+  | None -> None
+  | Some lower_bound ->
+      let fixed = Array.make n None in
+      let unscheduled = ref (List.init n (fun i -> i)) in
+      let ok = ref true in
+      while !unscheduled <> [] && !ok do
+        match frames g table a ~deadline ~fixed with
+        | None -> ok := false
+        | Some current ->
+            let dg = distribution g table a ~deadline current in
+            let best = ref None in
+            List.iter
+              (fun v ->
+                let est, lst = current in
+                for s = est.(v) to lst.(v) do
+                  (* force of fixing v at s = <dg, (new distribution -
+                     old distribution)> over all types and steps *)
+                  fixed.(v) <- Some s;
+                  (match frames g table a ~deadline ~fixed with
+                  | None -> ()
+                  | Some restricted ->
+                      let dg' = distribution g table a ~deadline restricted in
+                      let force = ref 0.0 in
+                      for t = 0 to Fulib.Table.num_types table - 1 do
+                        for step = 0 to deadline - 1 do
+                          force :=
+                            !force +. (dg.(t).(step) *. (dg'.(t).(step) -. dg.(t).(step)))
+                        done
+                      done;
+                      match !best with
+                      | Some (f, _, _) when f <= !force -> ()
+                      | _ -> best := Some (!force, v, s));
+                  fixed.(v) <- None
+                done)
+              !unscheduled;
+            (match !best with
+            | None -> ok := false
+            | Some (_, v, s) ->
+                fixed.(v) <- Some s;
+                unscheduled := List.filter (fun w -> w <> v) !unscheduled)
+      done;
+      if not !ok then None
+      else begin
+        let start =
+          Array.map (function Some s -> s | None -> 0) fixed
+        in
+        let schedule = { Schedule.start; assignment = Array.copy a } in
+        if
+          Schedule.respects_precedence g table schedule
+          && Schedule.meets_deadline table schedule ~deadline
+        then
+          Some
+            {
+              Min_resource.schedule;
+              config = Schedule.peak_usage table schedule;
+              lower_bound;
+            }
+        else None
+      end

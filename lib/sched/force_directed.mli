@@ -1,0 +1,27 @@
+(** Force-directed scheduling (Paulin–Knight, cited by the paper as the
+    classic behavioural-synthesis scheduler), adapted to heterogeneous
+    assignments and multi-cycle operations.
+
+    Under a fixed deadline, each unscheduled node has a start-time frame
+    [\[ASAP, ALAP\]]; spreading a node's execution probability uniformly
+    over its frame yields, per FU type, a {e distribution graph} over
+    control steps. Nodes are fixed one at a time at the start step of
+    minimum {e force} — the inner product of the distribution graphs with
+    the probability change the fixing causes anywhere in the graph
+    (including the frame restrictions propagated to predecessors and
+    successors). Balanced distributions need fewer concurrent FUs.
+
+    Deterministic (ties break toward the lexicographically first
+    node/step). [O(n^2 · deadline · (V + E))] — slower than
+    {!Min_resource}'s list scheduling, usually flatter usage. *)
+
+(** [run g table a ~deadline] returns [None] exactly when the assignment's
+    makespan exceeds the deadline. The result's [lower_bound] field is the
+    same {!Lower_bound} configuration list scheduling starts from, for
+    comparison. *)
+val run :
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  Assign.Assignment.t ->
+  deadline:int ->
+  Min_resource.result option

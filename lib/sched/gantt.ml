@@ -1,0 +1,33 @@
+let render ?binding ~graph ~table s =
+  let binding = match binding with Some b -> b | None -> Binding.bind table s in
+  let len = max (Schedule.length table s) 1 in
+  let lib = Fulib.Table.library table in
+  let buf = Buffer.create 1024 in
+  let header = Bytes.make len ' ' in
+  for i = 0 to len - 1 do
+    Bytes.set header i (Char.chr (Char.code '0' + (i mod 10)))
+  done;
+  Buffer.add_string buf (Printf.sprintf "%-10s%s\n" "step" (Bytes.to_string header));
+  let k = Fulib.Table.num_types table in
+  for t = 0 to k - 1 do
+    for i = 0 to binding.Binding.config.(t) - 1 do
+      let row = Bytes.make len '.' in
+      Array.iteri
+        (fun v ftype ->
+          if ftype = t && binding.Binding.instance.(v) = i then begin
+            let name = Dfg.Graph.name graph v in
+            let start = s.Schedule.start.(v) in
+            let d = Fulib.Table.time table ~node:v ~ftype in
+            for j = 0 to d - 1 do
+              let c = if j < String.length name then name.[j] else '#' in
+              if start + j < len then Bytes.set row (start + j) c
+            done
+          end)
+        s.Schedule.assignment;
+      Buffer.add_string buf
+        (Printf.sprintf "%-10s%s\n"
+           (Printf.sprintf "%s[%d]" (Fulib.Library.type_name lib t) i)
+           (Bytes.to_string row))
+    done
+  done;
+  Buffer.contents buf

@@ -1,0 +1,23 @@
+(** ASCII Gantt charts of bound schedules.
+
+    One row per FU instance, one column per control step:
+
+    {v
+step      0123456789
+P1[0]     aaa.bb....
+P2[0]     ...ccccc..
+    v}
+
+    Each operation paints the first letters of its node name over its
+    execution steps (['#'] when the name is exhausted), ['.'] marks idle
+    steps. A quick visual check that the configuration is tight and the
+    deadline is met. *)
+
+val render :
+  ?binding:Binding.t ->
+  graph:Dfg.Graph.t ->
+  table:Fulib.Table.t ->
+  Schedule.t ->
+  string
+(** [render ?binding ~graph ~table s] — [binding] defaults to
+    [Binding.bind table s]. *)

@@ -1,0 +1,33 @@
+let clamp x lo hi = max lo (min x hi)
+
+let per_type ?(pipelined = fun _ -> false) g table a ~deadline =
+  match Asap_alap.alap g table a ~deadline with
+  | None -> None
+  | Some alap ->
+      let asap = Asap_alap.asap g table a in
+      let n = Dfg.Graph.num_nodes g in
+      let k = Fulib.Table.num_types table in
+      let time v = Fulib.Table.time table ~node:v ~ftype:a.(v) in
+      (* busy steps an operation forces onto an instance: the issue slot
+         only, for pipelined types *)
+      let busy v = if pipelined a.(v) then 1 else time v in
+      (* forced_prefix.(t).(s) = busy steps of type t forced into steps
+         0 .. s-1; forced_suffix the mirror for the last s steps. *)
+      let bound = Array.make k 0 in
+      for s = 1 to deadline do
+        let prefix = Array.make k 0 and suffix = Array.make k 0 in
+        for v = 0 to n - 1 do
+          let t = a.(v) in
+          prefix.(t) <- prefix.(t) + clamp (s - alap.(v)) 0 (busy v);
+          suffix.(t) <-
+            suffix.(t) + clamp (asap.(v) + busy v - (deadline - s)) 0 (busy v)
+        done;
+        for t = 0 to k - 1 do
+          let need w = (w + s - 1) / s in
+          bound.(t) <- max bound.(t) (max (need prefix.(t)) (need suffix.(t)))
+        done
+      done;
+      (* A type that appears at all needs at least one instance even when
+         deadline slack makes the density bounds vanish. *)
+      Array.iter (fun t -> if bound.(t) = 0 then bound.(t) <- 1) a;
+      Some bound

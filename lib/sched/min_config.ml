@@ -1,0 +1,78 @@
+module Pq = struct
+  (* tiny priority queue on sorted association buckets; config counts are
+     small so simplicity beats a heap *)
+  type 'a t = { mutable buckets : (int * 'a list) list }
+
+  let create () = { buckets = [] }
+
+  let push q priority x =
+    let rec insert = function
+      | [] -> [ (priority, [ x ]) ]
+      | (p, xs) :: rest when p = priority -> (p, x :: xs) :: rest
+      | (p, _) :: _ as all when p > priority -> (priority, [ x ]) :: all
+      | bucket :: rest -> bucket :: insert rest
+    in
+    q.buckets <- insert q.buckets
+
+  let pop q =
+    match q.buckets with
+    | [] -> None
+    | (p, [ x ]) :: rest ->
+        q.buckets <- rest;
+        Some (p, x)
+    | (p, x :: xs) :: rest ->
+        q.buckets <- (p, xs) :: rest;
+        Some (p, x)
+    | (_, []) :: rest ->
+        q.buckets <- rest;
+        None
+end
+
+let solve ?weights ?budget g table a ~deadline =
+  match Lower_bound.per_type g table a ~deadline with
+  | None -> None
+  | Some lower ->
+      let k = Fulib.Table.num_types table in
+      let weights =
+        match weights with
+        | Some w ->
+            if Array.length w <> k then
+              invalid_arg "Min_config.solve: weights length mismatch";
+            w
+        | None -> Array.make k 1
+      in
+      let upper = Min_resource.naive_config table a in
+      (* ensure the box is non-empty per type *)
+      let upper = Array.mapi (fun t u -> max u lower.(t)) upper in
+      let objective c =
+        let total = ref 0 in
+        Array.iteri (fun t x -> total := !total + (weights.(t) * x)) c;
+        !total
+      in
+      let seen = Hashtbl.create 64 in
+      let q = Pq.create () in
+      let push c =
+        let key = Array.to_list c in
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.replace seen key ();
+          Pq.push q (objective c) c
+        end
+      in
+      push lower;
+      let rec search () =
+        match Pq.pop q with
+        | None -> None
+        | Some (obj, c) -> (
+            match Exact_schedule.schedule ?budget g table a ~config:c ~deadline with
+            | Some s -> Some (c, s, obj)
+            | None ->
+                for t = 0 to k - 1 do
+                  if c.(t) < upper.(t) then begin
+                    let c' = Array.copy c in
+                    c'.(t) <- c'.(t) + 1;
+                    push c'
+                  end
+                done;
+                search ())
+      in
+      search ()

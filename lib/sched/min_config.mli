@@ -1,0 +1,28 @@
+(** Exact minimum configuration: the cheapest FU configuration under which
+    {e some} schedule meets the deadline.
+
+    Candidate configurations live in the box between {!Lower_bound}'s
+    per-type bounds and the naive one-FU-per-node counts; they are explored
+    in increasing objective order (total FU count by default, or a weighted
+    sum, e.g. FU areas), and the first exactly-schedulable one — decided by
+    {!Exact_schedule} — is optimal for that objective.
+
+    Exponential in the worst case (both the box walk and each
+    schedulability check); meant for small instances and for measuring how
+    close the paper's [Min_FU_Scheduling] gets. *)
+
+(** [solve ?weights ?budget g table a ~deadline] returns the optimal
+    configuration, its witness schedule, and the objective value. [weights]
+    defaults to all-ones (minimise total FU count); [budget] (default
+    [2_000_000]) bounds each schedulability check, raising
+    [Exact_schedule.Budget_exhausted]. [None] when even the naive
+    configuration misses the deadline (i.e. the assignment itself is
+    infeasible). *)
+val solve :
+  ?weights:int array ->
+  ?budget:int ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  Assign.Assignment.t ->
+  deadline:int ->
+  (Config.t * Schedule.t * int) option

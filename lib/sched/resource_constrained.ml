@@ -1,0 +1,61 @@
+let run ?(pipelined = fun _ -> false) g table a ~config =
+  let n = Dfg.Graph.num_nodes g in
+  let time v = Fulib.Table.time table ~node:v ~ftype:a.(v) in
+  let usable = ref true in
+  Array.iter (fun t -> if config.(t) < 1 then usable := false) a;
+  if not !usable then None
+  else begin
+    (* priority: longest path (in time) from the node to any leaf *)
+    let priority = Dfg.Paths.longest_from g ~weight:time in
+    let horizon =
+      let total = ref 1 in
+      for v = 0 to n - 1 do
+        total := !total + time v
+      done;
+      !total
+    in
+    let k = Fulib.Table.num_types table in
+    let occupancy = Array.make_matrix k horizon 0 in
+    let start = Array.make n (-1) in
+    let unscheduled_preds = Array.init n (fun v -> Dfg.Graph.dag_in_degree g v) in
+    let pred_finish = Array.make n 0 in
+    let remaining = ref n in
+    let step = ref 0 in
+    let last_busy v s = if pipelined a.(v) then s else s + time v - 1 in
+    let free_for v s =
+      let t = a.(v) in
+      let rec go i = i > last_busy v s || (occupancy.(t).(i) < config.(t) && go (i + 1)) in
+      go s
+    in
+    let occupy v s =
+      let t = a.(v) in
+      start.(v) <- s;
+      for i = s to last_busy v s do
+        occupancy.(t).(i) <- occupancy.(t).(i) + 1
+      done;
+      List.iter
+        (fun w ->
+          unscheduled_preds.(w) <- unscheduled_preds.(w) - 1;
+          pred_finish.(w) <- max pred_finish.(w) (s + time v))
+        (Dfg.Graph.dag_succs g v);
+      decr remaining
+    in
+    while !remaining > 0 && !step < horizon do
+      let ready =
+        List.filter
+          (fun v ->
+            start.(v) < 0 && unscheduled_preds.(v) = 0 && pred_finish.(v) <= !step)
+          (List.init n (fun i -> i))
+      in
+      let by_priority =
+        List.sort (fun v w -> compare (-priority.(v), v) (-priority.(w), w)) ready
+      in
+      List.iter (fun v -> if free_for v !step then occupy v !step) by_priority;
+      incr step
+    done;
+    assert (!remaining = 0);
+    Some { Schedule.start; assignment = Array.copy a }
+  end
+
+let makespan ?pipelined g table a ~config =
+  Option.map (Schedule.length table) (run ?pipelined g table a ~config)

@@ -1,0 +1,35 @@
+(** Resource-constrained list scheduling: minimise the schedule length of
+    the DAG portion under a {e fixed} configuration.
+
+    The converse of {!Min_resource} (which fixes the deadline and minimises
+    resources): here the FU counts are given — e.g. an existing datapath —
+    and the schedule should finish as early as possible. Classic list
+    scheduling with longest-path-to-sink priority; a substrate for
+    {!Rotation} and for exploring time/resource trade-offs.
+
+    NP-hard in general; list scheduling is the standard heuristic and is
+    within a factor of 2 of optimal for homogeneous single-type instances
+    (Graham's bound).
+
+    [pipelined ftype] marks types with initiation interval 1 (an instance
+    is busy only during the issue step). *)
+
+(** [run g table a ~config] schedules every node respecting precedence and
+    per-type instance counts. [None] when some used type has zero instances
+    in [config] (no valid schedule exists). *)
+val run :
+  ?pipelined:(int -> bool) ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  Assign.Assignment.t ->
+  config:Config.t ->
+  Schedule.t option
+
+(** The length of the schedule {!run} produces ([None] likewise). *)
+val makespan :
+  ?pipelined:(int -> bool) ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  Assign.Assignment.t ->
+  config:Config.t ->
+  int option

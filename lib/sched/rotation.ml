@@ -1,0 +1,49 @@
+type result = {
+  retiming : Dfg.Cyclic.retiming;
+  graph : Dfg.Graph.t;
+  schedule : Schedule.t;
+  period : int;
+}
+
+let run g table a ~config ~rotations =
+  let n = Dfg.Graph.num_nodes g in
+  match Resource_constrained.run g table a ~config with
+  | None -> None
+  | Some schedule0 ->
+      let cumulative = Array.make n 0 in
+      let best =
+        ref
+          {
+            retiming = Array.make n 0;
+            graph = g;
+            schedule = schedule0;
+            period = Schedule.length table schedule0;
+          }
+      in
+      let rec rotate i current schedule =
+        if i >= rotations then ()
+        else begin
+          (* nodes in the first control step are roots of the DAG portion;
+             pull one register across each of them *)
+          let r =
+            Array.init n (fun v -> if schedule.Schedule.start.(v) = 0 then -1 else 0)
+          in
+          let rotated = Dfg.Cyclic.apply current r in
+          Array.iteri (fun v rv -> cumulative.(v) <- cumulative.(v) + rv) r;
+          match Resource_constrained.run rotated table a ~config with
+          | None -> ()
+          | Some schedule' ->
+              let period = Schedule.length table schedule' in
+              if period < !best.period then
+                best :=
+                  {
+                    retiming = Array.copy cumulative;
+                    graph = rotated;
+                    schedule = schedule';
+                    period;
+                  };
+              rotate (i + 1) rotated schedule'
+        end
+      in
+      if n > 0 then rotate 0 g schedule0;
+      Some !best

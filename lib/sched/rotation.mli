@@ -1,0 +1,34 @@
+(** Rotation scheduling (Chao–LaPaugh–Sha, cited by the paper as the
+    loop-pipelining scheduler its DFG model comes from).
+
+    A static schedule of a cyclic DFG repeats every iteration; its length
+    is the cycle period. Rotation shortens it under a {e fixed}
+    configuration: the nodes in the schedule's first control step are
+    necessarily DAG-portion roots, so every zero-delay-free incoming edge
+    carries a register — retiming those nodes by [-1] moves one register
+    across them (they re-enter the DAG portion at the {e end} of the next
+    iteration), and rescheduling the new DAG portion usually packs tighter.
+    Repeating this walks the schedule toward the resource-constrained
+    minimum; the best schedule seen is kept.
+
+    The rotation step is always legal: first-step nodes have no zero-delay
+    predecessors, so each incoming edge has at least one delay to consume. *)
+
+type result = {
+  retiming : Dfg.Cyclic.retiming;
+      (** cumulative retiming from the input graph to [graph] *)
+  graph : Dfg.Graph.t;  (** the retimed DFG the best schedule is for *)
+  schedule : Schedule.t;
+  period : int;  (** the best schedule length found *)
+}
+
+(** [run g table a ~config ~rotations] performs up to [rotations] rotate +
+    reschedule steps. [None] when [config] gives zero instances to a used
+    type. Deterministic. *)
+val run :
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  Assign.Assignment.t ->
+  config:Config.t ->
+  rotations:int ->
+  result option

@@ -1,0 +1,38 @@
+(** Static schedules and their validation.
+
+    A schedule fixes, for every node, a start control step (0-based); the
+    node occupies steps [start .. start + time - 1] on one FU instance of
+    its assigned type. *)
+
+type t = {
+  start : int array;  (** node -> start step *)
+  assignment : Assign.Assignment.t;
+}
+
+(** [finish table s v] is the first step after node [v] completes. *)
+val finish : Fulib.Table.t -> t -> int -> int
+
+(** Overall schedule length (first step after the last completion). *)
+val length : Fulib.Table.t -> t -> int
+
+(** Every zero-delay edge [u -> v] satisfies
+    [start v >= start u + time u]. *)
+val respects_precedence : Dfg.Graph.t -> Fulib.Table.t -> t -> bool
+
+val meets_deadline : Fulib.Table.t -> t -> deadline:int -> bool
+
+(** [peak_usage ?pipelined table s] is, per FU type, the maximum number of
+    nodes of that type occupying an instance in any single step — the
+    minimal configuration that can carry the schedule. A {e pipelined} FU
+    type (initiation interval 1) only occupies its instance during the
+    issue step; non-pipelined types occupy it for the operation's whole
+    duration. [pipelined] defaults to no type being pipelined. *)
+val peak_usage : ?pipelined:(int -> bool) -> Fulib.Table.t -> t -> Config.t
+
+(** [fits ?pipelined table s ~config] checks per-step usage never exceeds
+    [config]. *)
+val fits : ?pipelined:(int -> bool) -> Fulib.Table.t -> t -> config:Config.t -> bool
+
+(** Render as a step-by-step listing. *)
+val pp :
+  graph:Dfg.Graph.t -> table:Fulib.Table.t -> Format.formatter -> t -> unit

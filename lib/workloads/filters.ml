@@ -1,0 +1,270 @@
+module B = Dfg.Builder
+
+(* Combine [inputs] pairwise with fresh [op] nodes until one remains,
+   returning the final node. Builds the adder-reduction shape common to
+   filter output stages: n inputs, n - 1 combiners. *)
+let reduce b ~op ~prefix inputs =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    B.add_node b ~name:(Printf.sprintf "%s%d" prefix !counter) ~op
+  in
+  let rec go = function
+    | [] -> invalid_arg "Filters.reduce: no inputs"
+    | [ last ] -> last
+    | x :: y :: rest ->
+        let s = fresh () in
+        B.add_edge b ~src:x ~dst:s;
+        B.add_edge b ~src:y ~dst:s;
+        go (rest @ [ s ])
+  in
+  go inputs
+
+let lattice ~stages =
+  if stages < 1 then invalid_arg "Filters.lattice: stages < 1";
+  let b = B.create () in
+  let src = B.add_node b ~name:"in" ~op:"add" in
+  let rec build i prev =
+    if i > stages then ()
+    else begin
+      let name s = Printf.sprintf "%s%d" s i in
+      let m1 = B.add_node b ~name:(name "m1_") ~op:"mul" in
+      let m2 = B.add_node b ~name:(name "m2_") ~op:"mul" in
+      let a1 = B.add_node b ~name:(name "a1_") ~op:"add" in
+      let a2 = B.add_node b ~name:(name "a2_") ~op:"add" in
+      B.add_edge b ~src:prev ~dst:m1;
+      B.add_edge b ~src:prev ~dst:m2;
+      B.add_edge b ~src:m1 ~dst:a1;
+      B.add_edge b ~src:m2 ~dst:a2;
+      (* backward-path feedback through the stage register *)
+      B.add_delay_edge b ~src:a2 ~dst:prev ~delay:1;
+      build (i + 1) a1
+    end
+  in
+  build 1 src;
+  B.finish b
+
+let volterra () =
+  let b = B.create () in
+  let muls prefix count =
+    List.init count (fun i ->
+        B.add_node b ~name:(Printf.sprintf "%s%d" prefix (i + 1)) ~op:"mul")
+  in
+  (* first-order kernel: 8 products; second-order kernel: 6 products *)
+  let first = muls "f" 8 in
+  let second = muls "s" 6 in
+  let sum1 = reduce b ~op:"add" ~prefix:"af" first in
+  let sum2 = reduce b ~op:"add" ~prefix:"as" second in
+  let out = B.add_node b ~name:"out" ~op:"add" in
+  B.add_edge b ~src:sum1 ~dst:out;
+  B.add_edge b ~src:sum2 ~dst:out;
+  B.finish b
+
+(* HAL benchmark: one Euler step of y'' + 3xy' + 3y = 0.
+     x1 = x + dx;  u1 = u - 3*x*u*dx - 3*y*dx;  y1 = y + u*dx;  x1 < a?
+   The product u*dx is computed once and shared by u1 and y1 — the shared
+   multiply makes this a general DAG rather than a tree. *)
+let diffeq () =
+  let b = B.create () in
+  let node name op = B.add_node b ~name ~op in
+  let e src dst = B.add_edge b ~src ~dst in
+  let m1 = node "m1" "mul" (* 3 * x *) in
+  let m2 = node "m2" "mul" (* u * dx, shared *) in
+  let m3 = node "m3" "mul" (* m1 * m2 *) in
+  let m4 = node "m4" "mul" (* 3 * y *) in
+  let m5 = node "m5" "mul" (* dx * m4 *) in
+  let s1 = node "s1" "sub" (* u - m3 *) in
+  let s2 = node "s2" "sub" (* s1 - m5 -> u1 *) in
+  let a1 = node "a1" "add" (* y + m2 -> y1 *) in
+  let a2 = node "a2" "add" (* x + dx -> x1 *) in
+  let c1 = node "c1" "comp" (* x1 < a *) in
+  let m6 = node "m6" "mul" (* u1 * dx for the next step's state update *) in
+  e m1 m3;
+  e m2 m3;
+  e m3 s1;
+  e s1 s2;
+  e m4 m5;
+  e m5 s2;
+  e m2 a1;
+  e a2 c1;
+  e s2 m6;
+  (* loop-carried state: u1 and y1 feed the next iteration *)
+  B.add_delay_edge b ~src:s2 ~dst:m2 ~delay:1;
+  B.add_delay_edge b ~src:a1 ~dst:m4 ~delay:1;
+  B.add_delay_edge b ~src:m6 ~dst:s1 ~delay:1;
+  B.finish b
+
+(* Four Laguerre sections behind a common low-pass input stage; the section
+   energy outputs reconverge pairwise into the RLS error update. *)
+let rls_laguerre () =
+  let b = B.create () in
+  let node name op = B.add_node b ~name ~op in
+  let e src dst = B.add_edge b ~src ~dst in
+  let inp = node "in" "add" in
+  let lp = node "lp" "mul" (* Laguerre low-pass gain *) in
+  e inp lp;
+  let rec sections i prev outs =
+    if i > 4 then List.rev outs
+    else begin
+      let name s = Printf.sprintf "%s%d" s i in
+      let m = node (name "m") "mul" in
+      let a = node (name "a") "add" in
+      let g = node (name "g") "mul" (* section gain tap *) in
+      e prev m;
+      e m a;
+      e a g;
+      B.add_delay_edge b ~src:a ~dst:m ~delay:1;
+      sections (i + 1) a (g :: outs)
+    end
+  in
+  let outs = sections 1 lp [] in
+  let err = reduce b ~op:"add" ~prefix:"e" outs in
+  let upd = node "upd" "mul" in
+  e err upd;
+  B.add_delay_edge b ~src:upd ~dst:lp ~delay:1;
+  B.finish b
+
+(* A serial adder backbone (the wave-filter ladder) with eight multiplier
+   taps; nine output adders each reconverge a tap (or a backbone fork) with
+   a later backbone node. The reconvergences sit at the leaves, so the
+   critical-path tree duplicates exactly the nine output adders — the
+   paper reports the same count for this benchmark. 34 nodes: 26 additions
+   and 8 multiplications, as in the standard fifth-order elliptic wave
+   filter. *)
+let elliptic () =
+  let b = B.create () in
+  let node name op = B.add_node b ~name ~op in
+  let e src dst = B.add_edge b ~src ~dst in
+  let backbone =
+    Array.init 16 (fun i -> node (Printf.sprintf "b%d" (i + 1)) "add")
+  in
+  for i = 0 to 14 do
+    e backbone.(i) backbone.(i + 1)
+  done;
+  let inp = node "in" "add" in
+  e inp backbone.(0);
+  let muls =
+    Array.init 8 (fun j ->
+        let m = node (Printf.sprintf "m%d" (j + 1)) "mul" in
+        e backbone.(2 * j) m;
+        m)
+  in
+  for j = 0 to 7 do
+    let o = node (Printf.sprintf "o%d" (j + 1)) "add" in
+    e muls.(j) o;
+    e backbone.((2 * j) + 1) o
+  done;
+  let o9 = node "o9" "add" in
+  e backbone.(14) o9;
+  e backbone.(15) o9;
+  (* ladder feedback registers *)
+  B.add_delay_edge b ~src:o9 ~dst:inp ~delay:1;
+  B.add_delay_edge b ~src:backbone.(15) ~dst:backbone.(8) ~delay:1;
+  B.finish b
+
+(* taps coefficient products folded by a chain of adders: the direct-form
+   FIR structure. Tree in the transposed orientation (adders reconverge). *)
+let fir ~taps =
+  if taps < 1 then invalid_arg "Filters.fir: taps < 1";
+  let b = B.create () in
+  let products =
+    List.init taps (fun i ->
+        B.add_node b ~name:(Printf.sprintf "h%d" i) ~op:"mul")
+  in
+  (match products with
+  | [] -> ()
+  | first :: rest ->
+      let (_ : int) =
+        List.fold_left
+          (fun acc p ->
+            let s = B.add_node b ~name:(Printf.sprintf "s%d" (B.num_nodes b)) ~op:"add" in
+            B.add_edge b ~src:acc ~dst:s;
+            B.add_edge b ~src:p ~dst:s;
+            s)
+          first rest
+      in
+      ());
+  B.finish b
+
+(* cascade of biquads: per section w = in - a1*w' - a2*w''; out = b0*w +
+   b1*w' (+ b2*w'' folded into the next add); the feedback taps are delay
+   edges, and the section's state node w feeds both the feedback multipliers
+   (next iteration) and the feed-forward ones (fan-out), so the output adder
+   reconverges — one duplicated node per section. *)
+let iir_biquad_cascade ~sections =
+  if sections < 1 then invalid_arg "Filters.iir_biquad_cascade: sections < 1";
+  let b = B.create () in
+  let node name op = B.add_node b ~name ~op in
+  let e src dst = B.add_edge b ~src ~dst in
+  let inp = node "in" "add" in
+  let rec build i prev =
+    if i > sections then ()
+    else begin
+      let name s = Printf.sprintf "%s%d" s i in
+      let ma1 = node (name "a1_") "mul" in
+      let ma2 = node (name "a2_") "mul" in
+      let w = node (name "w") "add" (* in - a1 w' - a2 w'' *) in
+      let mb0 = node (name "b0_") "mul" in
+      let mb1 = node (name "b1_") "mul" in
+      let out = node (name "y") "add" in
+      e prev w;
+      e ma1 w;
+      e ma2 w;
+      e w mb0;
+      e w mb1;
+      e mb0 out;
+      e mb1 out;
+      B.add_delay_edge b ~src:w ~dst:ma1 ~delay:1;
+      B.add_delay_edge b ~src:w ~dst:ma2 ~delay:2;
+      build (i + 1) out
+    end
+  in
+  build 1 inp;
+  B.finish b
+
+(* one radix-2 decimation-in-time stage: per butterfly, a twiddle multiply
+   whose result fans out into the sum and difference outputs — a forest of
+   3-node out-trees, embarrassingly parallel *)
+let fft_stage ~butterflies =
+  if butterflies < 1 then invalid_arg "Filters.fft_stage: butterflies < 1";
+  let b = B.create () in
+  for i = 0 to butterflies - 1 do
+    let tw = B.add_node b ~name:(Printf.sprintf "w%d" i) ~op:"mul" in
+    let sum = B.add_node b ~name:(Printf.sprintf "p%d" i) ~op:"add" in
+    let diff = B.add_node b ~name:(Printf.sprintf "m%d" i) ~op:"sub" in
+    B.add_edge b ~src:tw ~dst:sum;
+    B.add_edge b ~src:tw ~dst:diff
+  done;
+  B.finish b
+
+let all () =
+  [
+    ("4-stage lattice", lattice ~stages:4);
+    ("8-stage lattice", lattice ~stages:8);
+    ("volterra", volterra ());
+    ("diffeq", diffeq ());
+    ("rls-laguerre", rls_laguerre ());
+    ("elliptic", elliptic ());
+  ]
+
+let trees () =
+  [
+    ("4-stage lattice", lattice ~stages:4);
+    ("8-stage lattice", lattice ~stages:8);
+    ("volterra", volterra ());
+  ]
+
+let dags () =
+  [
+    ("diffeq", diffeq ());
+    ("rls-laguerre", rls_laguerre ());
+    ("elliptic", elliptic ());
+  ]
+
+let extended () =
+  all ()
+  @ [
+      ("16-tap fir", fir ~taps:16);
+      ("3-section biquad", iir_biquad_cascade ~sections:3);
+      ("8-butterfly fft stage", fft_stage ~butterflies:8);
+    ]

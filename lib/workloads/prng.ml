@@ -1,0 +1,1 @@
+include Rng.Prng

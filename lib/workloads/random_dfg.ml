@@ -1,0 +1,88 @@
+module B = Dfg.Builder
+
+let ops = [| "add"; "mul"; "sub"; "comp" |]
+
+let random_node rng b i =
+  B.add_node b
+    ~name:(Printf.sprintf "v%d" i)
+    ~op:ops.(Prng.int rng (Array.length ops))
+
+let random_path rng ~n =
+  if n < 1 then invalid_arg "Random_dfg.random_path: n < 1";
+  let b = B.create () in
+  let nodes = Array.init n (random_node rng b) in
+  for i = 0 to n - 2 do
+    B.add_edge b ~src:nodes.(i) ~dst:nodes.(i + 1)
+  done;
+  B.finish b
+
+let random_tree rng ~n ~max_children =
+  if n < 1 then invalid_arg "Random_dfg.random_tree: n < 1";
+  if max_children < 1 then invalid_arg "Random_dfg.random_tree: max_children < 1";
+  let b = B.create () in
+  let nodes = Array.init n (random_node rng b) in
+  let child_count = Array.make n 0 in
+  for i = 1 to n - 1 do
+    (* pick an earlier node with spare capacity, uniformly *)
+    let candidates = ref [] in
+    for j = 0 to i - 1 do
+      if child_count.(j) < max_children then candidates := j :: !candidates
+    done;
+    let cands = Array.of_list !candidates in
+    let parent =
+      if Array.length cands = 0 then i - 1
+      else cands.(Prng.int rng (Array.length cands))
+    in
+    child_count.(parent) <- child_count.(parent) + 1;
+    B.add_edge b ~src:nodes.(parent) ~dst:nodes.(i)
+  done;
+  B.finish b
+
+let random_dag rng ~n ~extra_edges =
+  if n < 1 then invalid_arg "Random_dfg.random_dag: n < 1";
+  let b = B.create () in
+  let nodes = Array.init n (random_node rng b) in
+  let present = Hashtbl.create 64 in
+  for i = 1 to n - 1 do
+    let parent = Prng.int rng i in
+    Hashtbl.replace present (parent, i) ();
+    B.add_edge b ~src:nodes.(parent) ~dst:nodes.(i)
+  done;
+  let added = ref 0 and attempts = ref 0 in
+  while !added < extra_edges && !attempts < extra_edges * 20 do
+    incr attempts;
+    if n >= 2 then begin
+      let i = Prng.int rng (n - 1) in
+      let j = Prng.int_in rng (i + 1) (n - 1) in
+      if not (Hashtbl.mem present (i, j)) then begin
+        Hashtbl.replace present (i, j) ();
+        B.add_edge b ~src:nodes.(i) ~dst:nodes.(j);
+        incr added
+      end
+    end
+  done;
+  B.finish b
+
+let random_layered rng ~layers ~width ~edge_prob =
+  if layers < 1 || width < 1 then
+    invalid_arg "Random_dfg.random_layered: empty shape";
+  let b = B.create () in
+  let grid =
+    Array.init layers (fun l ->
+        Array.init width (fun w -> random_node rng b ((l * width) + w)))
+  in
+  for l = 0 to layers - 2 do
+    for w = 0 to width - 1 do
+      let connected = ref false in
+      for w' = 0 to width - 1 do
+        if Prng.float rng < edge_prob then begin
+          B.add_edge b ~src:grid.(l).(w) ~dst:grid.(l + 1).(w');
+          connected := true
+        end
+      done;
+      if not !connected then
+        B.add_edge b ~src:grid.(l).(w)
+          ~dst:grid.(l + 1).(Prng.int rng width)
+    done
+  done;
+  B.finish b

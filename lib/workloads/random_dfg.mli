@@ -1,0 +1,20 @@
+(** Random DFG generators for property tests and scaling benchmarks. *)
+
+(** [random_path rng ~n] — the simple path [v0 -> v1 -> ... -> v_{n-1}]. *)
+val random_path : Prng.t -> n:int -> Dfg.Graph.t
+
+(** [random_tree rng ~n ~max_children] — a rooted out-tree: every node
+    except the root gets one parent chosen among earlier nodes that still
+    have capacity. *)
+val random_tree : Prng.t -> n:int -> max_children:int -> Dfg.Graph.t
+
+(** [random_dag rng ~n ~extra_edges] — a connected DAG: a random tree plus
+    [extra_edges] additional forward edges (duplicates avoided), which
+    create the reconvergent fan-out that makes expansion non-trivial. *)
+val random_dag : Prng.t -> n:int -> extra_edges:int -> Dfg.Graph.t
+
+(** [random_layered rng ~layers ~width ~edge_prob] — a layered DAG in which
+    each node links to each node of the next layer with probability
+    [edge_prob] (at least one outgoing edge per non-final-layer node). *)
+val random_layered :
+  Prng.t -> layers:int -> width:int -> edge_prob:float -> Dfg.Graph.t

@@ -1,0 +1,60 @@
+let tradeoff_row rng k ~base_time =
+  let time = Array.make k 0 and cost = Array.make k 0 in
+  let t = ref base_time in
+  for j = 0 to k - 1 do
+    time.(j) <- !t;
+    t := !t + Prng.int_in rng 1 3
+  done;
+  let c = ref (Prng.int_in rng 1 5) in
+  for j = k - 1 downto 0 do
+    cost.(j) <- !c;
+    c := !c + Prng.int_in rng 2 8
+  done;
+  (time, cost)
+
+let build rng ~library ~num_nodes ~base_time_of =
+  let k = Fulib.Library.num_types library in
+  let rows = Array.init num_nodes (fun v -> tradeoff_row rng k ~base_time:(base_time_of v)) in
+  Fulib.Table.make ~library ~time:(Array.map fst rows) ~cost:(Array.map snd rows)
+
+let random_tradeoff rng ~library ~num_nodes =
+  build rng ~library ~num_nodes ~base_time_of:(fun _ -> Prng.int_in rng 1 3)
+
+let for_graph rng ~library g =
+  build rng ~library ~num_nodes:(Dfg.Graph.num_nodes g) ~base_time_of:(fun v ->
+      match Dfg.Graph.op g v with
+      | "mul" -> Prng.int_in rng 2 4
+      | _ -> Prng.int_in rng 1 2)
+
+let dvs rng ~levels g =
+  if levels < 1 then invalid_arg "Tables.dvs: levels < 1";
+  let library =
+    Fulib.Library.make (Array.init levels (fun k -> Printf.sprintf "V%d" k))
+  in
+  let n = Dfg.Graph.num_nodes g in
+  let row v =
+    let base_time =
+      match Dfg.Graph.op g v with
+      | "mul" -> Prng.int_in rng 2 4
+      | _ -> Prng.int_in rng 1 2
+    in
+    let base_energy = Prng.int_in rng 20 40 in
+    let scale k = 1.0 +. (float_of_int k /. 2.0) in
+    ( Array.init levels (fun k ->
+          int_of_float (ceil (float_of_int base_time *. scale k))),
+      Array.init levels (fun k ->
+          max 1
+            (int_of_float
+               (Float.round (float_of_int base_energy /. (scale k *. scale k))))) )
+  in
+  let rows = Array.init n row in
+  Fulib.Table.make ~library ~time:(Array.map fst rows) ~cost:(Array.map snd rows)
+
+let random_arbitrary rng ~library ~num_nodes ~max_time ~max_cost =
+  let k = Fulib.Library.num_types library in
+  let row _ =
+    ( Array.init k (fun _ -> Prng.int_in rng 1 (max 1 max_time)),
+      Array.init k (fun _ -> Prng.int_in rng 0 (max 0 max_cost)) )
+  in
+  let rows = Array.init num_nodes row in
+  Fulib.Table.make ~library ~time:(Array.map fst rows) ~cost:(Array.map snd rows)

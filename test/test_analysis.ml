@@ -1,0 +1,150 @@
+open Helpers
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* a path with one slow node in the middle and a side branch *)
+let setup () =
+  (* v0 -> v1 -> v3, v0 -> v2 (short branch) *)
+  let g = graph 4 [ (0, 1); (1, 3); (0, 2) ] in
+  let tbl =
+    table lib2
+      [
+        ([ 1; 2 ], [ 9; 3 ]);
+        ([ 2; 6 ], [ 8; 2 ]);
+        ([ 1; 2 ], [ 7; 1 ]);
+        ([ 1; 3 ], [ 6; 2 ]);
+      ]
+  in
+  (g, tbl)
+
+let test_critical_nodes () =
+  let g, tbl = setup () in
+  (* all fastest: path v0 v1 v3 = 1+2+1 = 4; branch v0 v2 = 2 *)
+  let a = [| 0; 0; 0; 0 |] in
+  let r = Core.Analysis.analyse g tbl a ~deadline:6 in
+  Alcotest.(check int) "makespan" 4 r.Core.Analysis.makespan;
+  Alcotest.(check (list int)) "chain is critical" [ 0; 1; 3 ]
+    r.Core.Analysis.critical_nodes
+
+let test_speedups_on_slowed_node () =
+  let g, tbl = setup () in
+  (* v1 on the slow type: path = 1+6+1 = 8; upgrading v1 back to fast
+     brings the makespan to 4 *)
+  let a = [| 0; 1; 0; 0 |] in
+  let r = Core.Analysis.analyse g tbl a ~deadline:9 in
+  Alcotest.(check int) "makespan" 8 r.Core.Analysis.makespan;
+  match r.Core.Analysis.speedups with
+  | best :: _ ->
+      Alcotest.(check int) "upgrade v1" 1 best.Core.Analysis.node;
+      Alcotest.(check int) "to the fast type" 0 best.Core.Analysis.suggested_type;
+      Alcotest.(check int) "single-change makespan" 4
+        best.Core.Analysis.makespan_after;
+      Alcotest.(check int) "extra cost" 6 best.Core.Analysis.cost_delta
+  | [] -> Alcotest.fail "expected a speed-up"
+
+let test_savings_on_slack_branch () =
+  let g, tbl = setup () in
+  let a = [| 0; 0; 0; 0 |] in
+  (* v2 has slack 2 under deadline 6: down-typing it (2 steps, path 4 <= 6)
+     saves 7 - 1 = 6 *)
+  let r = Core.Analysis.analyse g tbl a ~deadline:6 in
+  match r.Core.Analysis.savings with
+  | [ o ] ->
+      Alcotest.(check int) "v2 downgrade" 2 o.Core.Analysis.node;
+      Alcotest.(check int) "saves 6" (-6) o.Core.Analysis.cost_delta;
+      Alcotest.(check bool) "still within deadline" true
+        (o.Core.Analysis.makespan_after <= 6)
+  | l -> Alcotest.failf "expected exactly one saving, got %d" (List.length l)
+
+let test_optimal_assignment_has_no_savings () =
+  (* on a tree, Tree_assign is optimal: any remaining single-node
+     down-type within the deadline would contradict optimality *)
+  let rng = Workloads.Prng.create 109 in
+  for trial = 1 to 20 do
+    let n = 2 + Workloads.Prng.int rng 8 in
+    let g = Workloads.Random_dfg.random_tree rng ~n ~max_children:3 in
+    let tbl = Workloads.Tables.random_tradeoff rng ~library:lib3 ~num_nodes:n in
+    let deadline =
+      Assign.Assignment.min_makespan g tbl + Workloads.Prng.int rng 8
+    in
+    match Assign.Tree_assign.solve g tbl ~deadline with
+    | None -> Alcotest.failf "trial %d infeasible" trial
+    | Some a ->
+        let r = Core.Analysis.analyse g tbl a ~deadline in
+        Alcotest.(check (list int))
+          (Printf.sprintf "trial %d: optimal leaves nothing" trial)
+          []
+          (List.map (fun o -> o.Core.Analysis.node) r.Core.Analysis.savings)
+  done
+
+let test_savings_are_sound () =
+  (* every reported saving must actually keep the deadline when applied *)
+  let rng = Workloads.Prng.create 113 in
+  for trial = 1 to 20 do
+    let n = 3 + Workloads.Prng.int rng 8 in
+    let g = Workloads.Random_dfg.random_dag rng ~n ~extra_edges:2 in
+    let tbl = Workloads.Tables.random_tradeoff rng ~library:lib3 ~num_nodes:n in
+    let a = Assign.Assignment.all_fastest tbl in
+    let deadline = Assign.Assignment.makespan g tbl a + Workloads.Prng.int rng 6 in
+    let r = Core.Analysis.analyse g tbl a ~deadline in
+    List.iter
+      (fun o ->
+        let a' = Array.copy a in
+        a'.(o.Core.Analysis.node) <- o.Core.Analysis.suggested_type;
+        Alcotest.(check int)
+          (Printf.sprintf "trial %d node %d exact single-change makespan" trial
+             o.Core.Analysis.node)
+          (Assign.Assignment.makespan g tbl a')
+          o.Core.Analysis.makespan_after;
+        Alcotest.(check bool) "within deadline" true
+          (Assign.Assignment.makespan g tbl a' <= deadline))
+      r.Core.Analysis.savings
+  done
+
+let test_speedups_are_exact () =
+  let rng = Workloads.Prng.create 127 in
+  for trial = 1 to 20 do
+    let n = 3 + Workloads.Prng.int rng 8 in
+    let g = Workloads.Random_dfg.random_dag rng ~n ~extra_edges:2 in
+    let tbl = Workloads.Tables.random_tradeoff rng ~library:lib3 ~num_nodes:n in
+    let a = Assign.Assignment.all_cheapest tbl in
+    let deadline = Assign.Assignment.makespan g tbl a + 2 in
+    let r = Core.Analysis.analyse g tbl a ~deadline in
+    List.iter
+      (fun o ->
+        let a' = Array.copy a in
+        a'.(o.Core.Analysis.node) <- o.Core.Analysis.suggested_type;
+        Alcotest.(check int)
+          (Printf.sprintf "trial %d speed-up exact" trial)
+          (Assign.Assignment.makespan g tbl a')
+          o.Core.Analysis.makespan_after;
+        Alcotest.(check bool) "actually faster" true
+          (o.Core.Analysis.makespan_after < r.Core.Analysis.makespan))
+      r.Core.Analysis.speedups
+  done
+
+let test_pp () =
+  let g, tbl = setup () in
+  let r = Core.Analysis.analyse g tbl [| 0; 1; 0; 0 |] ~deadline:9 in
+  let s = Format.asprintf "%a" (Core.Analysis.pp ~graph:g ~table:tbl) r in
+  Alcotest.(check bool) "mentions slack" true (contains s "slack");
+  Alcotest.(check bool) "mentions critical" true (contains s "critical nodes:");
+  Alcotest.(check bool) "names a node" true (contains s "v1")
+
+let () =
+  Alcotest.run "core.analysis"
+    [
+      ( "analysis",
+        [
+          quick "critical nodes" test_critical_nodes;
+          quick "speed-ups" test_speedups_on_slowed_node;
+          quick "savings" test_savings_on_slack_branch;
+          quick "optimal leaves no savings" test_optimal_assignment_has_no_savings;
+          quick "savings exact and sound" test_savings_are_sound;
+          quick "speed-ups exact" test_speedups_are_exact;
+          quick "pp" test_pp;
+        ] );
+    ]

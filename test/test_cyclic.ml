@@ -1,0 +1,128 @@
+open Helpers
+
+(* A classic retimable loop: three nodes in a cycle with two delays parked
+   on one edge; retiming can spread them to cut the combinational path. *)
+let correlator () =
+  graph_with_delays 3 [ (0, 1, 0); (1, 2, 0); (2, 0, 2) ]
+
+let test_cycle_period () =
+  let g = correlator () in
+  Alcotest.(check int) "sum of node times" 6
+    (Dfg.Cyclic.cycle_period g ~time:(fun _ -> 2));
+  let weight = function 0 -> 1 | 1 -> 5 | _ -> 2 in
+  Alcotest.(check int) "weighted" 8 (Dfg.Cyclic.cycle_period g ~time:weight)
+
+let test_legal_retiming () =
+  let g = correlator () in
+  Alcotest.(check bool) "zero retiming legal" true (Dfg.Cyclic.is_legal g [| 0; 0; 0 |]);
+  (* moving a delay across node 0: r(0) = -1 pushes delay onto 0->1 *)
+  Alcotest.(check bool) "shift legal" true (Dfg.Cyclic.is_legal g [| -1; 0; 0 |]);
+  Alcotest.(check bool) "illegal (negative delay)" false
+    (Dfg.Cyclic.is_legal g [| 1; 0; 0 |])
+
+let test_apply_preserves_cycle_delay_sum () =
+  let g = correlator () in
+  let r = [| -1; 0; 0 |] in
+  let g' = Dfg.Cyclic.apply g r in
+  let total gr =
+    List.fold_left (fun acc { Dfg.Graph.delay; _ } -> acc + delay) 0 (Dfg.Graph.edges gr)
+  in
+  Alcotest.(check int) "delay sum invariant" (total g) (total g');
+  Alcotest.(check bool) "period shrank" true
+    (Dfg.Cyclic.cycle_period g' ~time:(fun _ -> 2)
+    < Dfg.Cyclic.cycle_period g ~time:(fun _ -> 2))
+
+let test_apply_rejects_illegal () =
+  let g = correlator () in
+  Alcotest.check_raises "illegal" (Invalid_argument "Cyclic.apply: illegal retiming")
+    (fun () -> ignore (Dfg.Cyclic.apply g [| 1; 0; 0 |]))
+
+let test_min_cycle_period_correlator () =
+  let g = correlator () in
+  let period, r = Dfg.Cyclic.min_cycle_period g ~time:(fun _ -> 2) in
+  Alcotest.(check bool) "retiming legal" true (Dfg.Cyclic.is_legal g r);
+  let achieved = Dfg.Cyclic.cycle_period (Dfg.Cyclic.apply g r) ~time:(fun _ -> 2) in
+  Alcotest.(check int) "claimed period achieved" period achieved;
+  (* 3 nodes of time 2, 2 delays in the loop: the best split leaves at most
+     two nodes back-to-back -> period 4 *)
+  Alcotest.(check int) "optimal period" 4 period
+
+let test_min_cycle_period_lower_bounded_by_max_node () =
+  let g = correlator () in
+  let time = function 1 -> 7 | _ -> 1 in
+  let period, _ = Dfg.Cyclic.min_cycle_period g ~time in
+  Alcotest.(check bool) "at least the slowest node" true (period >= 7)
+
+let test_min_cycle_period_acyclic_chain () =
+  (* no delays at all: with no host edge pinning latency, retiming is free
+     to pipeline a feed-forward path down to its slowest node *)
+  let g = path_graph 4 in
+  let period, r = Dfg.Cyclic.min_cycle_period g ~time:(fun _ -> 3) in
+  Alcotest.(check int) "fully pipelined" 3 period;
+  Alcotest.(check bool) "legal" true (Dfg.Cyclic.is_legal g r);
+  Alcotest.(check int) "achieved" 3
+    (Dfg.Cyclic.cycle_period (Dfg.Cyclic.apply g r) ~time:(fun _ -> 3))
+
+let test_feasible_retiming_none_below_bound () =
+  let g = correlator () in
+  Alcotest.(check bool) "period 3 impossible for 2+2" true
+    (Dfg.Cyclic.feasible_retiming g ~time:(fun _ -> 2) ~period:3 = None)
+
+let test_iteration_bound_simple_loop () =
+  let g = correlator () in
+  (* cycle: 3 nodes x time 2 / 2 delays = 3.0 *)
+  let b = Dfg.Cyclic.iteration_bound g ~time:(fun _ -> 2) in
+  Alcotest.(check (float 0.01)) "t(C)/d(C)" 3.0 b
+
+let test_iteration_bound_two_loops () =
+  (* second, tighter loop dominates: 2 nodes x 4 / 1 delay = 8 *)
+  let g =
+    graph_with_delays 4
+      [ (0, 1, 0); (1, 2, 0); (2, 0, 2); (1, 3, 0); (3, 1, 1) ]
+  in
+  let time = function 3 -> 4 | 1 -> 4 | _ -> 1 in
+  let b = Dfg.Cyclic.iteration_bound g ~time in
+  Alcotest.(check (float 0.01)) "max cycle mean" 8.0 b
+
+let test_iteration_bound_acyclic () =
+  let g = path_graph 3 in
+  Alcotest.(check (float 0.0001)) "acyclic -> 0" 0.0
+    (Dfg.Cyclic.iteration_bound g ~time:(fun _ -> 5))
+
+let test_min_period_respects_iteration_bound () =
+  let g = correlator () in
+  let time _ = 2 in
+  let period, _ = Dfg.Cyclic.min_cycle_period g ~time in
+  let bound = Dfg.Cyclic.iteration_bound g ~time in
+  Alcotest.(check bool) "period >= ceil(bound)" true
+    (float_of_int period >= bound -. 0.01)
+
+let test_empty_graph () =
+  let g = graph 0 [] in
+  let period, r = Dfg.Cyclic.min_cycle_period g ~time:(fun _ -> 1) in
+  Alcotest.(check int) "period 0" 0 period;
+  Alcotest.(check int) "empty retiming" 0 (Array.length r)
+
+let () =
+  Alcotest.run "dfg.cyclic"
+    [
+      ( "cycle period / retiming",
+        [
+          quick "cycle period" test_cycle_period;
+          quick "legality" test_legal_retiming;
+          quick "apply preserves loop delays" test_apply_preserves_cycle_delay_sum;
+          quick "apply rejects illegal" test_apply_rejects_illegal;
+          quick "min period on correlator" test_min_cycle_period_correlator;
+          quick "min period >= slowest node" test_min_cycle_period_lower_bounded_by_max_node;
+          quick "min period on DAG" test_min_cycle_period_acyclic_chain;
+          quick "infeasible target" test_feasible_retiming_none_below_bound;
+          quick "empty graph" test_empty_graph;
+        ] );
+      ( "iteration bound",
+        [
+          quick "single loop" test_iteration_bound_simple_loop;
+          quick "two loops" test_iteration_bound_two_loops;
+          quick "acyclic" test_iteration_bound_acyclic;
+          quick "min period respects bound" test_min_period_respects_iteration_bound;
+        ] );
+    ]

@@ -1,0 +1,73 @@
+(* The shipped data/*.dfg netlists must parse, carry tables, and match the
+   built-in benchmark generators they were derived from. *)
+
+let data_dir = "../data"
+
+let available () =
+  Sys.file_exists data_dir && Sys.is_directory data_dir
+
+let quick = Helpers.quick
+
+let test_all_files_parse () =
+  if not (available ()) then ()
+  else begin
+    let files =
+      List.filter
+        (fun f -> Filename.check_suffix f ".dfg")
+        (Array.to_list (Sys.readdir data_dir))
+    in
+    Alcotest.(check bool) "nine benchmark files" true (List.length files >= 9);
+    List.iter
+      (fun f ->
+        let g, table = Netlist.load ~path:(Filename.concat data_dir f) in
+        Alcotest.(check bool) (f ^ " non-empty") true (Dfg.Graph.num_nodes g > 0);
+        Alcotest.(check bool) (f ^ " carries a table") true (table <> None))
+      files
+  end
+
+let test_files_match_generators () =
+  if not (available ()) then ()
+  else
+    List.iter
+      (fun (name, g) ->
+        let file =
+          Filename.concat data_dir
+            (String.map (function ' ' -> '_' | c -> c) name ^ ".dfg")
+        in
+        if Sys.file_exists file then begin
+          let g', _ = Netlist.load ~path:file in
+          Alcotest.(check int) (name ^ " node count")
+            (Dfg.Graph.num_nodes g)
+            (Dfg.Graph.num_nodes g');
+          Alcotest.(check int) (name ^ " edge count")
+            (Dfg.Graph.num_edges g)
+            (Dfg.Graph.num_edges g')
+        end)
+      (Workloads.Filters.extended ())
+
+let test_files_synthesize () =
+  if not (available ()) then ()
+  else begin
+    let path = Filename.concat data_dir "diffeq.dfg" in
+    if Sys.file_exists path then
+      match Netlist.load ~path with
+      | g, Some table -> (
+          let deadline = Core.Synthesis.min_deadline g table + 3 in
+          match Core.Synthesis.run Core.Synthesis.Repeat g table ~deadline with
+          | Some r ->
+              Alcotest.(check bool) "valid schedule" true
+                (Sched.Schedule.respects_precedence g table r.Core.Synthesis.schedule)
+          | None -> Alcotest.fail "diffeq.dfg infeasible")
+      | _ -> Alcotest.fail "diffeq.dfg lost its table"
+  end
+
+let () =
+  Alcotest.run "data_files"
+    [
+      ( "data",
+        [
+          quick "all files parse" test_all_files_parse;
+          quick "match generators" test_files_match_generators;
+          quick "synthesize from file" test_files_synthesize;
+        ] );
+    ]

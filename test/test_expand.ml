@@ -1,0 +1,126 @@
+open Helpers
+
+let tree_is_forest t = Dfg.Graph.is_tree t.Dfg.Expand.graph
+
+let test_tree_unchanged () =
+  let g = graph 5 [ (0, 1); (0, 2); (1, 3); (1, 4) ] in
+  let t = Dfg.Expand.expand g in
+  Alcotest.(check int) "same size" 5 (Dfg.Graph.num_nodes t.Dfg.Expand.graph);
+  Alcotest.(check (list int)) "no duplicates" [] (Dfg.Expand.duplicated_nodes t);
+  Alcotest.(check bool) "still a tree" true (tree_is_forest t)
+
+let test_diamond_duplicates_join () =
+  let g = diamond () in
+  let t = Dfg.Expand.expand g in
+  Alcotest.(check int) "5 tree nodes" 5 (Dfg.Graph.num_nodes t.Dfg.Expand.graph);
+  Alcotest.(check (list int)) "join duplicated" [ 3 ] (Dfg.Expand.duplicated_nodes t);
+  Alcotest.(check int) "two copies" 2 (Dfg.Expand.copy_count t 3);
+  Alcotest.(check bool) "result is a tree" true (tree_is_forest t)
+
+let test_origin_and_copies_consistent () =
+  let g = diamond () in
+  let t = Dfg.Expand.expand g in
+  Array.iteri
+    (fun tree_node orig ->
+      Alcotest.(check bool)
+        "copies lists its tree node" true
+        (List.mem tree_node t.Dfg.Expand.copies.(orig)))
+    t.Dfg.Expand.origin;
+  (* names and ops carried over *)
+  Array.iteri
+    (fun tree_node orig ->
+      Alcotest.(check string)
+        "name preserved"
+        (Dfg.Graph.name g orig)
+        (Dfg.Graph.name t.Dfg.Expand.graph tree_node))
+    t.Dfg.Expand.origin
+
+let sorted_path_names g path = List.map (Dfg.Graph.name g) path
+
+let test_all_critical_paths_preserved () =
+  (* two stacked diamonds: every original critical path must appear in the
+     expanded tree, as a path with the same node names *)
+  let g =
+    graph 7 [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4); (3, 5); (4, 6); (5, 6) ]
+  in
+  let t = Dfg.Expand.expand g in
+  let original =
+    List.sort_uniq compare
+      (List.map (sorted_path_names g) (Dfg.Paths.critical_paths g))
+  in
+  let expanded =
+    List.sort_uniq compare
+      (List.map
+         (sorted_path_names t.Dfg.Expand.graph)
+         (Dfg.Paths.critical_paths t.Dfg.Expand.graph))
+  in
+  Alcotest.(check (list (list string))) "same critical paths" original expanded
+
+let test_tree_size_equals_path_to_node_counts () =
+  let g =
+    graph 7 [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4); (3, 5); (4, 6); (5, 6) ]
+  in
+  let t = Dfg.Expand.expand g in
+  (* one copy per distinct root-to-node path *)
+  let expected =
+    let n = Dfg.Graph.num_nodes g in
+    let counts = Array.make n 0 in
+    List.iter
+      (fun v ->
+        let c =
+          match Dfg.Graph.dag_preds g v with
+          | [] -> 1
+          | ps -> List.fold_left (fun acc p -> acc + counts.(p)) 0 ps
+        in
+        counts.(v) <- c)
+      (Dfg.Topo.sort g);
+    Array.fold_left ( + ) 0 counts
+  in
+  Alcotest.(check int) "tree size" expected (Dfg.Graph.num_nodes t.Dfg.Expand.graph)
+
+let test_multi_root () =
+  let g = graph 3 [ (0, 2); (1, 2) ] in
+  let t = Dfg.Expand.expand g in
+  Alcotest.(check int) "4 nodes" 4 (Dfg.Graph.num_nodes t.Dfg.Expand.graph);
+  Alcotest.(check int) "2 roots" 2 (List.length (Dfg.Graph.roots t.Dfg.Expand.graph))
+
+let test_delay_edges_dropped () =
+  let g = graph_with_delays 3 [ (0, 1, 0); (1, 2, 0); (2, 0, 1) ] in
+  let t = Dfg.Expand.expand g in
+  Alcotest.(check int) "3 nodes" 3 (Dfg.Graph.num_nodes t.Dfg.Expand.graph);
+  Alcotest.(check int) "only zero-delay edges" 2
+    (Dfg.Graph.num_edges t.Dfg.Expand.graph)
+
+let test_too_large () =
+  (* 12 stacked diamonds -> 2^13 - ... paths; cap at 100 nodes *)
+  let d = 12 in
+  let edges =
+    List.concat
+      (List.init d (fun i ->
+           let base = 3 * i in
+           [ (base, base + 1); (base, base + 2); (base + 1, base + 3); (base + 2, base + 3) ]))
+  in
+  let g = graph ((3 * d) + 1) edges in
+  Alcotest.check_raises "raises Too_large" (Dfg.Expand.Too_large 100)
+    (fun () -> ignore (Dfg.Expand.expand ~max_nodes:100 g))
+
+let test_empty () =
+  let t = Dfg.Expand.expand (graph 0 []) in
+  Alcotest.(check int) "empty" 0 (Dfg.Graph.num_nodes t.Dfg.Expand.graph)
+
+let () =
+  Alcotest.run "dfg.expand"
+    [
+      ( "expand",
+        [
+          quick "tree passes through" test_tree_unchanged;
+          quick "diamond join duplicated" test_diamond_duplicates_join;
+          quick "origin/copies consistent" test_origin_and_copies_consistent;
+          quick "critical paths preserved" test_all_critical_paths_preserved;
+          quick "size = number of root paths" test_tree_size_equals_path_to_node_counts;
+          quick "multiple roots" test_multi_root;
+          quick "delay edges dropped" test_delay_edges_dropped;
+          quick "max_nodes cap" test_too_large;
+          quick "empty graph" test_empty;
+        ] );
+    ]

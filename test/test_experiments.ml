@@ -1,0 +1,164 @@
+(* End-to-end checks that the experiment drivers reproduce the paper's
+   qualitative results (the shape-level success criteria of DESIGN.md §4). *)
+
+let quick = Helpers.quick
+
+let cost_of algo row = List.assoc algo row.Core.Experiments.costs
+
+let test_deadlines_start_at_minimum () =
+  let g = Workloads.Filters.diffeq () in
+  let rng = Workloads.Prng.create 1 in
+  let tbl = Workloads.Tables.for_graph rng ~library:Fulib.Library.standard3 g in
+  match Core.Experiments.deadlines g tbl with
+  | first :: rest ->
+      Alcotest.(check int) "first = Tmin" (Core.Synthesis.min_deadline g tbl) first;
+      Alcotest.(check int) "six constraints" 5 (List.length rest);
+      let rec increasing = function
+        | a :: (b :: _ as t) -> a < b && increasing t
+        | _ -> true
+      in
+      Alcotest.(check bool) "strictly increasing" true (increasing (first :: rest))
+  | [] -> Alcotest.fail "no deadlines"
+
+let test_table1_tree_optimality () =
+  (* on trees, Once and Repeat must coincide with the Tree_Assign optimum
+     in every row — the paper's central Table-1 observation *)
+  List.iter
+    (fun report ->
+      List.iter
+        (fun row ->
+          let tree = cost_of Core.Synthesis.Tree row in
+          Alcotest.(check (option int))
+            (Printf.sprintf "%s T=%d: Once = Tree" report.Core.Experiments.name
+               row.Core.Experiments.deadline)
+            tree
+            (cost_of Core.Synthesis.Once row);
+          Alcotest.(check (option int))
+            (Printf.sprintf "%s T=%d: Repeat = Tree" report.Core.Experiments.name
+               row.Core.Experiments.deadline)
+            tree
+            (cost_of Core.Synthesis.Repeat row))
+        report.Core.Experiments.rows)
+    (Core.Experiments.table1 ())
+
+let test_table1_reductions_positive () =
+  List.iter
+    (fun report ->
+      List.iter
+        (fun (algo, reduction) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s avg reduction >= 0"
+               report.Core.Experiments.name
+               (Core.Synthesis.algorithm_name algo))
+            true (reduction >= 0.0))
+        report.Core.Experiments.average_reduction)
+    (Core.Experiments.table1 ())
+
+let test_table2_repeat_beats_once () =
+  List.iter
+    (fun report ->
+      (* per-row: Repeat never worse than Once *)
+      List.iter
+        (fun row ->
+          match (cost_of Core.Synthesis.Once row, cost_of Core.Synthesis.Repeat row) with
+          | Some o, Some r ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s T=%d: repeat <= once"
+                   report.Core.Experiments.name row.Core.Experiments.deadline)
+                true (r <= o)
+          | None, None -> ()
+          | _ -> Alcotest.fail "feasibility mismatch")
+        report.Core.Experiments.rows;
+      (* and the headline: Repeat's average reduction is positive *)
+      let repeat_avg =
+        List.assoc Core.Synthesis.Repeat report.Core.Experiments.average_reduction
+      in
+      Alcotest.(check bool)
+        (report.Core.Experiments.name ^ ": repeat average reduction positive")
+        true (repeat_avg > 0.0))
+    (Core.Experiments.table2 ())
+
+let test_costs_decrease_with_deadline () =
+  (* relaxing the constraint can only help the optimal tree DP *)
+  List.iter
+    (fun report ->
+      let tree_costs =
+        List.filter_map (cost_of Core.Synthesis.Tree) report.Core.Experiments.rows
+      in
+      let rec non_increasing = function
+        | a :: (b :: _ as t) -> a >= b && non_increasing t
+        | _ -> true
+      in
+      Alcotest.(check bool)
+        (report.Core.Experiments.name ^ ": optimal cost non-increasing in T")
+        true (non_increasing tree_costs))
+    (Core.Experiments.table1 ())
+
+let test_every_row_has_config () =
+  List.iter
+    (fun report ->
+      List.iter
+        (fun row ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s T=%d has configuration"
+               report.Core.Experiments.name row.Core.Experiments.deadline)
+            true
+            (row.Core.Experiments.config <> None))
+        report.Core.Experiments.rows)
+    (Core.Experiments.table1 () @ Core.Experiments.table2 ())
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_motivational_output () =
+  let s = Core.Experiments.motivational () in
+  Alcotest.(check bool) "mentions greedy" true (contains s "Greedy");
+  Alcotest.(check bool) "mentions the optimum" true (contains s "optimal");
+  Alcotest.(check bool) "prints schedules" true (contains s "step")
+
+let test_motivational_gap () =
+  (* reconstruct the example and confirm the paper's point: the optimum is
+     markedly cheaper than the fast greedy solution *)
+  let s = Core.Experiments.motivational () in
+  Alcotest.(check bool) "non-empty" true (String.length s > 200)
+
+let test_render_report_format () =
+  let report = List.hd (Core.Experiments.table2 ()) in
+  let s = Core.Experiments.render_report report in
+  Alcotest.(check bool) "has header" true (contains s "Greedy");
+  Alcotest.(check bool) "has average line" true (contains s "Average reduction");
+  Alcotest.(check bool) "names the benchmark" true
+    (contains s report.Core.Experiments.name)
+
+let test_ablation_outputs () =
+  let s = Core.Experiments.ablation_expand () in
+  Alcotest.(check bool) "expand ablation lists benchmarks" true (contains s "elliptic");
+  let s = Core.Experiments.ablation_order () in
+  Alcotest.(check bool) "order ablation lists strategies" true (contains s "by-copies")
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "protocol",
+        [
+          quick "deadlines from Tmin" test_deadlines_start_at_minimum;
+          quick "every row has a configuration" test_every_row_has_config;
+        ] );
+      ( "table1",
+        [
+          quick "heuristics optimal on trees" test_table1_tree_optimality;
+          quick "reductions positive" test_table1_reductions_positive;
+          quick "optimal cost monotone in T" test_costs_decrease_with_deadline;
+        ] );
+      ( "table2",
+        [ quick "repeat beats once" test_table2_repeat_beats_once ] );
+      ( "figures/rendering",
+        [
+          quick "motivational output" test_motivational_output;
+          quick "motivational gap" test_motivational_gap;
+          quick "render format" test_render_report_format;
+          quick "ablations render" test_ablation_outputs;
+        ] );
+    ]

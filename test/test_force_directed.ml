@@ -1,0 +1,108 @@
+open Helpers
+
+let validate name g tbl a ~deadline =
+  match Sched.Force_directed.run g tbl a ~deadline with
+  | None -> Alcotest.failf "%s: force-directed reported infeasible" name
+  | Some { Sched.Min_resource.schedule; config; lower_bound } ->
+      Alcotest.(check bool)
+        (name ^ ": precedence") true
+        (Sched.Schedule.respects_precedence g tbl schedule);
+      Alcotest.(check bool)
+        (name ^ ": deadline") true
+        (Sched.Schedule.meets_deadline tbl schedule ~deadline);
+      Alcotest.(check bool)
+        (name ^ ": config covers usage") true
+        (Sched.Schedule.fits tbl schedule ~config);
+      Array.iteri
+        (fun t bound ->
+          if bound > config.(t) then
+            Alcotest.failf "%s: lower bound exceeds config for type %d" name t)
+        lower_bound;
+      config
+
+let diamond_setup () =
+  ( diamond (),
+    table lib2
+      [
+        ([ 1; 2 ], [ 6; 2 ]);
+        ([ 2; 3 ], [ 7; 3 ]);
+        ([ 2; 4 ], [ 8; 2 ]);
+        ([ 1; 2 ], [ 5; 1 ]);
+      ] )
+
+let test_diamond () =
+  let g, tbl = diamond_setup () in
+  let a = [| 0; 0; 0; 0 |] in
+  (* tight: parallelism is forced *)
+  let config = validate "tight" g tbl a ~deadline:4 in
+  Alcotest.(check (array int)) "needs 2 FUs" [| 2; 0 |] config;
+  (* loose: balancing should serialise onto one FU *)
+  let config = validate "loose" g tbl a ~deadline:6 in
+  Alcotest.(check (array int)) "1 FU suffices" [| 1; 0 |] config
+
+let test_infeasible () =
+  let g, tbl = diamond_setup () in
+  Alcotest.(check bool) "below makespan" true
+    (Sched.Force_directed.run g tbl [| 0; 0; 0; 0 |] ~deadline:3 = None)
+
+let test_independent_nodes_spread () =
+  (* 4 equal independent unit-time nodes, deadline 4: balancing must place
+     them in distinct steps, reaching the 1-FU optimum *)
+  let g = graph 4 [] in
+  let tbl = table lib2 (List.init 4 (fun _ -> ([ 1; 1 ], [ 1; 1 ]))) in
+  let a = Array.make 4 0 in
+  let config = validate "spread" g tbl a ~deadline:4 in
+  Alcotest.(check (array int)) "perfectly balanced" [| 1; 0 |] config
+
+let test_benchmarks_valid_and_comparable () =
+  List.iter
+    (fun (name, g) ->
+      let rng = Workloads.Prng.create 23 in
+      let tbl = Workloads.Tables.for_graph rng ~library:lib3 g in
+      let tmin = Assign.Assignment.min_makespan g tbl in
+      let deadline = tmin + (tmin / 3) in
+      match Assign.Dfg_assign.repeat g tbl ~deadline with
+      | None -> Alcotest.failf "%s: assignment infeasible" name
+      | Some a ->
+          let fd = validate name g tbl a ~deadline in
+          (* comparison against list scheduling: no dominance either way is
+             guaranteed, but totals should be in the same ballpark (within
+             2x) — a regression here means one scheduler broke *)
+          (match Sched.Min_resource.run g tbl a ~deadline with
+          | None -> Alcotest.failf "%s: list scheduling disagrees" name
+          | Some { Sched.Min_resource.config = ls; _ } ->
+              let t_fd = Sched.Config.total fd and t_ls = Sched.Config.total ls in
+              if t_fd > 2 * t_ls then
+                Alcotest.failf "%s: force-directed config %d vs list %d" name
+                  t_fd t_ls))
+    (Workloads.Filters.all ())
+
+let test_empty () =
+  let g = graph 0 [] in
+  let tbl = table lib2 [] in
+  match Sched.Force_directed.run g tbl [||] ~deadline:0 with
+  | Some { Sched.Min_resource.config; _ } ->
+      Alcotest.(check (array int)) "empty" [| 0; 0 |] config
+  | None -> Alcotest.fail "empty feasible"
+
+let test_multicycle_balancing () =
+  (* two independent 2-cycle nodes, deadline 4: balancing puts them in
+     disjoint step pairs *)
+  let g = graph 2 [] in
+  let tbl = table lib2 [ ([ 2; 2 ], [ 1; 1 ]); ([ 2; 2 ], [ 1; 1 ]) ] in
+  let config = validate "multicycle" g tbl [| 0; 0 |] ~deadline:4 in
+  Alcotest.(check (array int)) "serialised" [| 1; 0 |] config
+
+let () =
+  Alcotest.run "sched.force_directed"
+    [
+      ( "force_directed",
+        [
+          quick "diamond tight/loose" test_diamond;
+          quick "infeasible" test_infeasible;
+          quick "independent nodes spread" test_independent_nodes_spread;
+          quick "benchmarks valid" test_benchmarks_valid_and_comparable;
+          quick "empty" test_empty;
+          quick "multi-cycle balancing" test_multicycle_balancing;
+        ] );
+    ]

@@ -1,0 +1,90 @@
+open Helpers
+
+let sample () =
+  table lib3
+    [
+      ([ 1; 2; 4 ], [ 9; 5; 2 ]);
+      ([ 2; 2; 3 ], [ 7; 7; 1 ]);
+      ([ 3; 1; 5 ], [ 4; 6; 3 ]);
+    ]
+
+let test_library_basics () =
+  Alcotest.(check int) "3 types" 3 (Fulib.Library.num_types lib3);
+  Alcotest.(check string) "P1" "P1" (Fulib.Library.type_name lib3 0);
+  Alcotest.check_raises "empty library" (Invalid_argument "Library.make: no FU types")
+    (fun () -> ignore (Fulib.Library.make [||]))
+
+let test_accessors () =
+  let t = sample () in
+  Alcotest.(check int) "nodes" 3 (Fulib.Table.num_nodes t);
+  Alcotest.(check int) "types" 3 (Fulib.Table.num_types t);
+  Alcotest.(check int) "time" 4 (Fulib.Table.time t ~node:0 ~ftype:2);
+  Alcotest.(check int) "cost" 7 (Fulib.Table.cost t ~node:1 ~ftype:0)
+
+let test_min_time_and_cost () =
+  let t = sample () in
+  Alcotest.(check int) "min time of v2" 1 (Fulib.Table.min_time t 2);
+  Alcotest.(check int) "its type" 1 (Fulib.Table.min_time_type t 2);
+  Alcotest.(check int) "min cost of v0" 2 (Fulib.Table.min_cost t 0);
+  Alcotest.(check int) "its type" 2 (Fulib.Table.min_cost_type t 0);
+  (* tie on time for v1 (2,2,3): lower index wins *)
+  Alcotest.(check int) "time tie -> lower index" 0 (Fulib.Table.min_time_type t 1)
+
+let test_validation () =
+  Alcotest.check_raises "time < 1" (Invalid_argument "Table.make: time < 1")
+    (fun () -> ignore (table lib2 [ ([ 1; 0 ], [ 1; 1 ]) ]));
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Table.make: negative cost") (fun () ->
+      ignore (table lib2 [ ([ 1; 1 ], [ 1; -2 ]) ]));
+  Alcotest.check_raises "row width" (Invalid_argument "Table.make: time row has wrong width")
+    (fun () -> ignore (table lib2 [ ([ 1 ], [ 1; 1 ]) ]))
+
+let test_make_copies_input () =
+  let time = [| [| 1; 2 |] |] and cost = [| [| 3; 4 |] |] in
+  let t = Fulib.Table.make ~library:lib2 ~time ~cost in
+  time.(0).(0) <- 99;
+  Alcotest.(check int) "table unaffected by later mutation" 1
+    (Fulib.Table.time t ~node:0 ~ftype:0)
+
+let test_pin () =
+  let t = sample () in
+  let p = Fulib.Table.pin t ~node:0 ~ftype:2 in
+  for ftype = 0 to 2 do
+    Alcotest.(check int) "pinned time" 4 (Fulib.Table.time p ~node:0 ~ftype);
+    Alcotest.(check int) "pinned cost" 2 (Fulib.Table.cost p ~node:0 ~ftype)
+  done;
+  (* other nodes untouched; original table untouched *)
+  Alcotest.(check int) "other row" 3 (Fulib.Table.time p ~node:2 ~ftype:0);
+  Alcotest.(check int) "original intact" 1 (Fulib.Table.time t ~node:0 ~ftype:0)
+
+let test_project () =
+  let t = sample () in
+  let p = Fulib.Table.project t ~origin:[| 2; 0; 0 |] in
+  Alcotest.(check int) "3 projected nodes" 3 (Fulib.Table.num_nodes p);
+  Alcotest.(check int) "row of v2" 3 (Fulib.Table.time p ~node:0 ~ftype:0);
+  Alcotest.(check int) "row of v0 twice" 9 (Fulib.Table.cost p ~node:1 ~ftype:0);
+  Alcotest.(check int) "row of v0 twice" 9 (Fulib.Table.cost p ~node:2 ~ftype:0)
+
+let test_pp_smoke () =
+  let t = sample () in
+  let s =
+    Format.asprintf "%a" (Fulib.Table.pp ~names:[| "a"; "b"; "c" |]) t
+  in
+  Alcotest.(check bool) "mentions a node" true
+    (String.length s > 0 && String.index_opt s 'a' <> None)
+
+let () =
+  Alcotest.run "fulib"
+    [
+      ( "table",
+        [
+          quick "library basics" test_library_basics;
+          quick "accessors" test_accessors;
+          quick "min time/cost" test_min_time_and_cost;
+          quick "validation" test_validation;
+          quick "defensive copies" test_make_copies_input;
+          quick "pin" test_pin;
+          quick "project" test_project;
+          quick "pp" test_pp_smoke;
+        ] );
+    ]

@@ -1,0 +1,81 @@
+(* Golden-output regression tests: the experiment drivers are fully
+   deterministic (seeded PRNGs, no wall-clock), so their text output is a
+   precise regression oracle. When an intentional change shifts the
+   numbers, regenerate with:
+
+     dune exec bin/experiments.exe -- motivational > test/golden/motivational.txt
+     dune exec bin/experiments.exe -- table2       > test/golden/table2.txt
+     dune exec bin/experiments.exe -- ablation     > test/golden/ablation.txt
+
+   (strip any harness noise lines first) and review the diff like any other
+   code change. *)
+
+let quick = Helpers.quick
+
+let read_golden name =
+  let path = Filename.concat "golden" name in
+  if Sys.file_exists path then
+    Some (In_channel.with_open_text path In_channel.input_all)
+  else None
+
+(* normalise line endings / trailing whitespace so the comparison is about
+   content, not incidental padding *)
+let normalise s =
+  String.split_on_char '\n' s
+  |> List.map (fun l ->
+         let n = String.length l in
+         let rec rstrip i = if i > 0 && l.[i - 1] = ' ' then rstrip (i - 1) else i in
+         String.sub l 0 (rstrip n))
+  |> List.filter (fun l -> l <> "")
+  |> String.concat "\n"
+
+let check_against name actual =
+  match read_golden name with
+  | None -> () (* golden files not shipped in this build sandbox *)
+  | Some expected ->
+      let expected = normalise expected and actual = normalise actual in
+      if expected <> actual then begin
+        (* first differing line, for a readable failure *)
+        let el = String.split_on_char '\n' expected in
+        let al = String.split_on_char '\n' actual in
+        let rec first_diff i = function
+          | e :: es, a :: als ->
+              if e <> a then (i, e, a) else first_diff (i + 1) (es, als)
+          | e :: _, [] -> (i, e, "<missing>")
+          | [], a :: _ -> (i, "<missing>", a)
+          | [], [] -> (i, "", "")
+        in
+        let i, e, a = first_diff 1 (el, al) in
+        Alcotest.failf "%s drifted at line %d:\n  golden: %s\n  actual: %s" name
+          i e a
+      end
+
+let test_motivational () =
+  check_against "motivational.txt" (Core.Experiments.motivational ())
+
+let test_table2 () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "Table 2 (general DFGs)\n======================\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf (Core.Experiments.render_report r);
+      Buffer.add_char buf '\n')
+    (Core.Experiments.table2 ());
+  check_against "table2.txt" (Buffer.contents buf)
+
+let test_ablation () =
+  let s =
+    Core.Experiments.ablation_expand () ^ "\n" ^ Core.Experiments.ablation_order ()
+  in
+  check_against "ablation.txt" s
+
+let () =
+  Alcotest.run "golden"
+    [
+      ( "golden",
+        [
+          quick "motivational" test_motivational;
+          quick "table 2" test_table2;
+          quick "ablations" test_ablation;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+open Helpers
+
+let graphs_equal g1 g2 =
+  let edges g =
+    List.sort compare
+      (List.map
+         (fun { Dfg.Graph.src; dst; delay } ->
+           (Dfg.Graph.name g src, Dfg.Graph.name g dst, delay))
+         (Dfg.Graph.edges g))
+  in
+  Dfg.Graph.num_nodes g1 = Dfg.Graph.num_nodes g2
+  && Array.for_all2 ( = ) (Dfg.Graph.names g1) (Dfg.Graph.names g2)
+  && edges g1 = edges g2
+
+let test_roundtrip_graph_only () =
+  let g = graph_with_delays 4 [ (0, 1, 0); (0, 2, 0); (1, 3, 0); (2, 3, 2) ] in
+  let g', tbl = Netlist.of_string (Netlist.to_string g) in
+  Alcotest.(check bool) "same graph" true (graphs_equal g g');
+  Alcotest.(check bool) "no table" true (tbl = None)
+
+let test_roundtrip_with_table () =
+  let g = diamond () in
+  let tbl =
+    table lib3
+      [
+        ([ 1; 2; 3 ], [ 10; 6; 2 ]);
+        ([ 1; 2; 4 ], [ 12; 7; 3 ]);
+        ([ 2; 3; 5 ], [ 9; 4; 1 ]);
+        ([ 1; 3; 4 ], [ 8; 5; 2 ]);
+      ]
+  in
+  let g', tbl' = Netlist.of_string (Netlist.to_string ~table:tbl g) in
+  Alcotest.(check bool) "same graph" true (graphs_equal g g');
+  match tbl' with
+  | None -> Alcotest.fail "table lost"
+  | Some t ->
+      Alcotest.(check int) "types" 3 (Fulib.Table.num_types t);
+      for v = 0 to 3 do
+        for k = 0 to 2 do
+          Alcotest.(check int) "time" (Fulib.Table.time tbl ~node:v ~ftype:k)
+            (Fulib.Table.time t ~node:v ~ftype:k);
+          Alcotest.(check int) "cost" (Fulib.Table.cost tbl ~node:v ~ftype:k)
+            (Fulib.Table.cost t ~node:v ~ftype:k)
+        done
+      done;
+      Alcotest.(check string) "type name survives" "P2"
+        (Fulib.Library.type_name (Fulib.Table.library t) 1)
+
+let test_comments_and_blank_lines () =
+  let src = "# header\n\nnode a mul\n  # indented comment\nnode b add\nedge a b # trailing\n" in
+  let g, _ = Netlist.of_string src in
+  Alcotest.(check int) "two nodes" 2 (Dfg.Graph.num_nodes g);
+  Alcotest.(check int) "one edge" 1 (Dfg.Graph.num_edges g)
+
+let expect_error ~line src =
+  match Netlist.of_string src with
+  | exception Netlist.Parse_error (l, _) ->
+      Alcotest.(check int) "error line" line l
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_errors () =
+  expect_error ~line:1 "frob a b\n";
+  expect_error ~line:2 "node a mul\nnode a add\n";
+  expect_error ~line:2 "node a mul\nedge a zzz\n";
+  expect_error ~line:2 "node a mul\nedge a a delay x\n";
+  expect_error ~line:2 "fu-types P1 P2\nnode a mul 1/2\n";
+  expect_error ~line:3 "fu-types P1\nnode a mul 1/1\nfu-types P1\n";
+  expect_error ~line:2 "node a mul\nfu-types P1\n";
+  expect_error ~line:1 "fu-types\n";
+  expect_error ~line:2 "node a mul\nedge a a\n" (* zero-delay self loop *)
+
+let test_malformed_pair () =
+  expect_error ~line:2 "fu-types P1\nnode a mul 1-2\n"
+
+let test_file_io () =
+  let g = Workloads.Filters.diffeq () in
+  let rng = Workloads.Prng.create 3 in
+  let tbl = Workloads.Tables.for_graph rng ~library:lib3 g in
+  let path = Filename.temp_file "netlist" ".dfg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Netlist.save ~path ~table:tbl g;
+      let g', tbl' = Netlist.load ~path in
+      Alcotest.(check bool) "graph round-trips through disk" true (graphs_equal g g');
+      Alcotest.(check bool) "table present" true (tbl' <> None))
+
+let test_benchmarks_roundtrip () =
+  List.iter
+    (fun (name, g) ->
+      let g', _ = Netlist.of_string (Netlist.to_string g) in
+      Alcotest.(check bool) (name ^ " round-trips") true (graphs_equal g g'))
+    (Workloads.Filters.extended ())
+
+let test_solves_after_parse () =
+  (* an end-to-end flow from text: parse, then synthesize *)
+  let src =
+    "fu-types F S\n\
+     node a mul 2/9 4/2\n\
+     node b add 1/5 3/1\n\
+     node c add 1/5 2/1\n\
+     edge a b\n\
+     edge a c\n"
+  in
+  let g, tbl = Netlist.of_string src in
+  match tbl with
+  | None -> Alcotest.fail "table expected"
+  | Some tbl -> (
+      match Assign.Tree_assign.solve_with_cost g tbl ~deadline:6 with
+      (* all-slow needs 4 + max(3,2) = 7 > 6; best is a slow (2), b fast
+         (5), c slow (1) = 8 *)
+      | Some (_, cost) -> Alcotest.(check int) "optimal cost" 8 cost
+      | None -> Alcotest.fail "feasible")
+
+let () =
+  Alcotest.run "netlist"
+    [
+      ( "netlist",
+        [
+          quick "round-trip, graph only" test_roundtrip_graph_only;
+          quick "round-trip with table" test_roundtrip_with_table;
+          quick "comments/blank lines" test_comments_and_blank_lines;
+          quick "parse errors carry line numbers" test_errors;
+          quick "malformed pair" test_malformed_pair;
+          quick "file io" test_file_io;
+          quick "all benchmarks round-trip" test_benchmarks_roundtrip;
+          quick "parse then solve" test_solves_after_parse;
+        ] );
+    ]

@@ -1,0 +1,280 @@
+(* Tests for the RTL back end (datapath, Verilog) and the end-to-end
+   compilation flow. *)
+
+open Helpers
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let count_occurrences haystack needle =
+  let nl = String.length needle in
+  let rec go i acc =
+    if i + nl > String.length haystack then acc
+    else if String.sub haystack i nl = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let synth g tbl =
+  let deadline = Assign.Assignment.min_makespan g tbl + 3 in
+  match Core.Synthesis.run Core.Synthesis.Repeat g tbl ~deadline with
+  | Some r -> r
+  | None -> Alcotest.fail "synthesis failed"
+
+(* --- Datapath ---------------------------------------------------------- *)
+
+let test_datapath_structure () =
+  let g = diamond () in
+  let tbl =
+    table lib2
+      [ ([ 1; 2 ], [ 6; 2 ]); ([ 2; 3 ], [ 7; 3 ]); ([ 2; 4 ], [ 8; 2 ]); ([ 1; 2 ], [ 5; 1 ]) ]
+  in
+  let r = synth g tbl in
+  let dp = Rtl.Datapath.build g tbl r.Core.Synthesis.schedule in
+  Alcotest.(check int) "one op per node" 4 (Array.length dp.Rtl.Datapath.operations);
+  Alcotest.(check int) "period = schedule length"
+    (Sched.Schedule.length tbl r.Core.Synthesis.schedule)
+    dp.Rtl.Datapath.period;
+  let op0 = dp.Rtl.Datapath.operations.(0) in
+  Alcotest.(check bool) "root is an input" true op0.Rtl.Datapath.is_input;
+  let op3 = dp.Rtl.Datapath.operations.(3) in
+  Alcotest.(check bool) "join is an output" true op3.Rtl.Datapath.is_output;
+  Alcotest.(check (list int)) "join's operands" [ 1; 2 ] op3.Rtl.Datapath.operands
+
+let test_interconnect_zero_without_sharing () =
+  (* 2 independent nodes on 2 instances: no port sees two sources *)
+  let g = graph 2 [] in
+  let tbl = table lib2 [ ([ 1; 1 ], [ 1; 1 ]); ([ 1; 1 ], [ 1; 1 ]) ] in
+  let s = { Sched.Schedule.start = [| 0; 0 |]; assignment = [| 0; 0 |] } in
+  let dp = Rtl.Datapath.build g tbl s in
+  let ic = Rtl.Datapath.interconnect dp in
+  Alcotest.(check int) "no muxes" 0 ic.Rtl.Datapath.mux_count
+
+let test_interconnect_counts_sharing () =
+  (* chain a->b, a->c with b,c on the same FU serially: slot 0 of that FU
+     sees only producer a -> still no mux; make two chains b<-a, c<-d to
+     force two sources on one port *)
+  let g = graph 4 [ (0, 1); (2, 3) ] in
+  let tbl = table lib2 (List.init 4 (fun _ -> ([ 1; 1 ], [ 1; 1 ]))) in
+  (* b (1) and d (3) serialised on the same single FU instance *)
+  let s = { Sched.Schedule.start = [| 0; 1; 0; 2 |]; assignment = [| 0; 0; 0; 0 |] } in
+  let dp = Rtl.Datapath.build g tbl s in
+  let ic = Rtl.Datapath.interconnect dp in
+  (* binding is left-edge; with all four ops on type 0 the consumers 1 and
+     3 may or may not share an instance — recompute expectation from the
+     actual binding *)
+  let b = Sched.Binding.bind tbl s in
+  let shared =
+    b.Sched.Binding.instance.(1) = b.Sched.Binding.instance.(3)
+  in
+  if shared then begin
+    Alcotest.(check int) "one mux" 1 ic.Rtl.Datapath.mux_count;
+    Alcotest.(check int) "two inputs" 2 ic.Rtl.Datapath.mux_inputs
+  end
+  else Alcotest.(check int) "no mux" 0 ic.Rtl.Datapath.mux_count
+
+(* --- Verilog ----------------------------------------------------------- *)
+
+let test_verilog_structure () =
+  let g = diamond () in
+  let tbl =
+    table lib2
+      [ ([ 1; 2 ], [ 6; 2 ]); ([ 2; 3 ], [ 7; 3 ]); ([ 2; 4 ], [ 8; 2 ]); ([ 1; 2 ], [ 5; 1 ]) ]
+  in
+  let r = synth g tbl in
+  let dp = Rtl.Datapath.build g tbl r.Core.Synthesis.schedule in
+  let v = Rtl.Verilog.emit g tbl dp in
+  Alcotest.(check bool) "module header" true (contains v "module hetsched_datapath");
+  Alcotest.(check bool) "endmodule" true (contains v "endmodule");
+  Alcotest.(check bool) "step counter" true (contains v "reg ");
+  Alcotest.(check bool) "input port for root" true (contains v "input wire [W-1:0] in_v0");
+  Alcotest.(check bool) "output port for sink" true (contains v "output wire [W-1:0] out_v3");
+  Alcotest.(check int) "one register per node" 4 (count_occurrences v "reg [W-1:0] r_v");
+  Alcotest.(check bool) "clocked logic" true (contains v "always @(posedge clk)")
+
+let test_verilog_history_registers () =
+  (* correlator: v2 -> v0 with 2 delays -> v2 drives a 2-deep history and
+     v0 reads the depth-2 entry *)
+  let g = graph_with_delays 3 [ (0, 1, 0); (1, 2, 0); (2, 0, 2) ] in
+  let tbl = table lib2 (List.init 3 (fun _ -> ([ 2; 2 ], [ 1; 1 ]))) in
+  let s = { Sched.Schedule.start = [| 0; 2; 4 |]; assignment = [| 0; 0; 0 |] } in
+  let dp = Rtl.Datapath.build g tbl s in
+  let v = Rtl.Verilog.emit g tbl dp in
+  Alcotest.(check bool) "history register depth 1" true (contains v "r_v2_h1");
+  Alcotest.(check bool) "history register depth 2" true (contains v "r_v2_h2");
+  Alcotest.(check bool) "consumer reads history" true (contains v "r_v2_h2;");
+  Alcotest.(check bool) "shift chain" true (contains v "r_v2_h2 <= r_v2_h1");
+  (* v2 finishes exactly at the period end: the chain must take the fresh
+     expression, not the stale register *)
+  Alcotest.(check bool) "period-end forwarding" true (contains v "r_v2_h1 <= r_v1")
+
+let test_verilog_operator_mapping () =
+  let g = graph ~ops:[| "mul"; "add"; "sub"; "comp" |] 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let tbl = table lib2 (List.init 4 (fun _ -> ([ 1; 1 ], [ 1; 1 ]))) in
+  let s = { Sched.Schedule.start = [| 0; 1; 2; 3 |]; assignment = [| 0; 0; 0; 0 |] } in
+  let dp = Rtl.Datapath.build g tbl s in
+  let v = Rtl.Verilog.emit g tbl dp in
+  (* single-operand chains degenerate to a bare operand reference; check
+     the two-operand case instead via the diamond in the structure test;
+     here check name sanitisation and the input expression *)
+  Alcotest.(check bool) "input feeds first node" true (contains v "r_v0 <= in_v0")
+
+let test_verilog_sanitizes_names () =
+  let names = [| "a*x"; "b x" |] in
+  let g =
+    Dfg.Graph.of_edges ~names [ { Dfg.Graph.src = 0; dst = 1; delay = 0 } ]
+  in
+  let tbl = table lib2 [ ([ 1; 1 ], [ 1; 1 ]); ([ 1; 1 ], [ 1; 1 ]) ] in
+  let s = { Sched.Schedule.start = [| 0; 1 |]; assignment = [| 0; 0 |] } in
+  let dp = Rtl.Datapath.build g tbl s in
+  let v = Rtl.Verilog.emit g tbl dp in
+  Alcotest.(check bool) "a*x sanitised" true (contains v "r_a_x");
+  Alcotest.(check bool) "no raw star" false (contains v "r_a*x")
+
+(* --- Flow --------------------------------------------------------------- *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "hetsflow" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_flow_compile () =
+  with_temp_dir (fun dir ->
+      let g = Workloads.Filters.diffeq () in
+      let rng = Workloads.Prng.create 5 in
+      let tbl = Workloads.Tables.for_graph rng ~library:lib3 g in
+      match Flow.compile g tbl ~outdir:dir with
+      | None -> Alcotest.fail "compile failed"
+      | Some s ->
+          Alcotest.(check int) "eight files" 8 (List.length s.Flow.files);
+          List.iter
+            (fun f ->
+              Alcotest.(check bool) (f ^ " exists") true (Sys.file_exists f))
+            s.Flow.files;
+          let read f = In_channel.with_open_text f In_channel.input_all in
+          let report = read (Filename.concat dir "report.txt") in
+          Alcotest.(check bool) "report has interconnect" true
+            (contains report "interconnect:");
+          let verilog = read (Filename.concat dir "datapath.v") in
+          Alcotest.(check bool) "verilog emitted" true (contains verilog "module ");
+          let vcd = read (Filename.concat dir "trace.vcd") in
+          Alcotest.(check bool) "vcd definitions" true
+            (contains vcd "$enddefinitions");
+          let svg = read (Filename.concat dir "schedule.svg") in
+          Alcotest.(check bool) "svg root element" true (contains svg "<svg ");
+          Alcotest.(check bool) "svg closes" true (contains svg "</svg>");
+          let csv = read (Filename.concat dir "schedule.csv") in
+          Alcotest.(check bool) "schedule csv header" true
+            (contains csv "node,op,fu_type");
+          Alcotest.(check bool) "cost positive" true (s.Flow.cost > 0))
+
+let test_flow_compile_file () =
+  with_temp_dir (fun dir ->
+      let src = "fu-types F S\nnode a mul 2/9 4/2\nnode b add 1/5 3/1\nedge a b\n" in
+      let path = Filename.temp_file "flowsrc" ".dfg" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Out_channel.with_open_text path (fun oc -> output_string oc src);
+          match Flow.compile_file ~outdir:dir path with
+          | None -> Alcotest.fail "compile_file failed"
+          | Some s ->
+              Alcotest.(check bool) "makespan within deadline" true
+                (s.Flow.makespan > 0)))
+
+let test_vcd_structure () =
+  let g = graph_with_delays 3 [ (0, 1, 0); (1, 2, 0); (2, 0, 2) ] in
+  let tbl = table lib2 (List.init 3 (fun _ -> ([ 2; 2 ], [ 1; 1 ]))) in
+  let s = { Sched.Schedule.start = [| 0; 2; 4 |]; assignment = [| 0; 0; 0 |] } in
+  let b = Sched.Binding.bind tbl s in
+  let vcd = Rtl.Vcd.trace ~iterations:3 g tbl s b ~period:6 in
+  Alcotest.(check bool) "step var" true (contains vcd "$var wire 32 ! step");
+  Alcotest.(check bool) "busy var" true (contains vcd "busy_A_0");
+  Alcotest.(check bool) "op var" true (contains vcd "op_v0");
+  Alcotest.(check bool) "timestamps" true (contains vcd "#0\n" && contains vcd "#6");
+  (* identifiers must be unique *)
+  let defs =
+    List.filter (fun l -> String.length l > 4 && String.sub l 0 4 = "$var")
+      (String.split_on_char '\n' vcd)
+  in
+  let ids =
+    List.map
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | _ :: _ :: _ :: id :: _ -> id
+        | _ -> Alcotest.fail "malformed $var line")
+      defs
+  in
+  Alcotest.(check int) "unique ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  Alcotest.check_raises "bad period" (Invalid_argument "Vcd.trace: period < 1")
+    (fun () -> ignore (Rtl.Vcd.trace g tbl s b ~period:0))
+
+let test_testbench_structure () =
+  let g = graph_with_delays 3 [ (0, 1, 0); (1, 2, 0); (2, 0, 2) ] in
+  let tbl = table lib2 (List.init 3 (fun _ -> ([ 2; 2 ], [ 1; 1 ]))) in
+  let s = { Sched.Schedule.start = [| 0; 2; 4 |]; assignment = [| 0; 0; 0 |] } in
+  let dp = Rtl.Datapath.build g tbl s in
+  let input _ i = i + 1 in
+  let tb = Rtl.Testbench.emit g tbl dp ~iterations:3 ~input in
+  Alcotest.(check bool) "tb module" true (contains tb "module hetsched_datapath_tb");
+  Alcotest.(check bool) "instantiates dut" true (contains tb "hetsched_datapath #(.W(16)) dut");
+  Alcotest.(check bool) "check task" true (contains tb "task check");
+  Alcotest.(check bool) "pass banner" true (contains tb "TESTBENCH PASSED");
+  Alcotest.(check bool) "finishes" true (contains tb "$finish");
+  (* expected values come from the interpreter: the correlator's v2 output
+     for input 1,2,3 is x(i)+? — compute and cross-check one literal *)
+  let expected = Dfg.Interp.run g ~iterations:3 ~input in
+  Alcotest.(check bool) "first expected value embedded" true
+    (contains tb (Printf.sprintf "check(out_v2, %d, 0);" (expected.(2).(0) land 0xFFFF)));
+  (* three iterations -> three checks of the single output *)
+  Alcotest.(check int) "one check per iteration" 3
+    (count_occurrences tb "check(out_v2");
+  Alcotest.check_raises "bad iterations"
+    (Invalid_argument "Testbench.emit: iterations < 1") (fun () ->
+      ignore (Rtl.Testbench.emit g tbl dp ~iterations:0 ~input));
+  (* the datapath it targets resets its registers, as the golden model
+     assumes *)
+  let v = Rtl.Verilog.emit g tbl dp in
+  Alcotest.(check bool) "registers reset" true (contains v "if (rst) r_v0 <= 0;")
+
+let test_flow_infeasible () =
+  with_temp_dir (fun dir ->
+      let g = path_graph 3 in
+      let tbl = table lib2 (List.init 3 (fun _ -> ([ 2; 3 ], [ 2; 1 ]))) in
+      Alcotest.(check bool) "impossible deadline" true
+        (Flow.compile ~deadline:3 g tbl ~outdir:dir = None))
+
+let () =
+  Alcotest.run "rtl_flow"
+    [
+      ( "datapath",
+        [
+          quick "structure" test_datapath_structure;
+          quick "interconnect without sharing" test_interconnect_zero_without_sharing;
+          quick "interconnect with sharing" test_interconnect_counts_sharing;
+        ] );
+      ( "verilog",
+        [
+          quick "module structure" test_verilog_structure;
+          quick "history registers" test_verilog_history_registers;
+          quick "operator mapping" test_verilog_operator_mapping;
+          quick "name sanitisation" test_verilog_sanitizes_names;
+        ] );
+      ( "flow",
+        [
+          quick "compile" test_flow_compile;
+          quick "vcd structure" test_vcd_structure;
+          quick "testbench structure" test_testbench_structure;
+          quick "compile from file" test_flow_compile_file;
+          quick "infeasible" test_flow_infeasible;
+        ] );
+    ]

@@ -1,0 +1,173 @@
+open Helpers
+module Srt = Assign.Soft_realtime
+
+(* deterministic ptable: every distribution a single point — the model must
+   collapse to the ordinary problem *)
+let degenerate_ptable tbl =
+  let n = Fulib.Table.num_nodes tbl in
+  let k = Fulib.Table.num_types tbl in
+  Srt.make
+    ~library:(Fulib.Table.library tbl)
+    ~time:
+      (Array.init n (fun v ->
+           Array.init k (fun t -> [ (Fulib.Table.time tbl ~node:v ~ftype:t, 1.0) ])))
+    ~cost:
+      (Array.init n (fun v ->
+           Array.init k (fun t -> Fulib.Table.cost tbl ~node:v ~ftype:t)))
+
+let two_point_ptable () =
+  (* v0 -> v1; one FU type; times 1 w.p. 0.5 else 2 *)
+  Srt.make ~library:(Fulib.Library.make [| "F" |])
+    ~time:[| [| [ (1, 0.5); (2, 0.5) ] |]; [| [ (1, 0.5); (2, 0.5) ] |] |]
+    ~cost:[| [| 3 |]; [| 4 |] |]
+
+let test_validation () =
+  let lib = Fulib.Library.make [| "F" |] in
+  Alcotest.check_raises "bad sum"
+    (Invalid_argument "Soft_realtime: probabilities do not sum to 1") (fun () ->
+      ignore (Srt.make ~library:lib ~time:[| [| [ (1, 0.5) ] |] |] ~cost:[| [| 1 |] |]));
+  Alcotest.check_raises "bad time" (Invalid_argument "Soft_realtime: time < 1")
+    (fun () ->
+      ignore (Srt.make ~library:lib ~time:[| [| [ (0, 1.0) ] |] |] ~cost:[| [| 1 |] |]))
+
+let test_quantiles () =
+  let pt = two_point_ptable () in
+  let q50 = Srt.quantile_table pt ~q:0.5 in
+  let q90 = Srt.quantile_table pt ~q:0.9 in
+  Alcotest.(check int) "median" 1 (Fulib.Table.time q50 ~node:0 ~ftype:0);
+  Alcotest.(check int) "90th percentile" 2 (Fulib.Table.time q90 ~node:0 ~ftype:0);
+  Alcotest.(check int) "worst case" 2
+    (Fulib.Table.time (Srt.worst_case_table pt) ~node:0 ~ftype:0);
+  Alcotest.(check int) "costs carried" 4 (Fulib.Table.cost q50 ~node:1 ~ftype:0)
+
+let test_exact_probability_chain () =
+  let g = path_graph 2 in
+  let pt = two_point_ptable () in
+  let a = [| 0; 0 |] in
+  (* sum of two iid uniform{1,2}: P(<=2)=0.25, P(<=3)=0.75, P(<=4)=1 *)
+  Alcotest.(check (float 1e-9)) "P(<=2)" 0.25
+    (Srt.success_probability_exact g pt a ~deadline:2);
+  Alcotest.(check (float 1e-9)) "P(<=3)" 0.75
+    (Srt.success_probability_exact g pt a ~deadline:3);
+  Alcotest.(check (float 1e-9)) "P(<=4)" 1.0
+    (Srt.success_probability_exact g pt a ~deadline:4);
+  Alcotest.(check (float 1e-9)) "P(<=1)" 0.0
+    (Srt.success_probability_exact g pt a ~deadline:1)
+
+let test_mc_agrees_with_exact () =
+  let rng = Workloads.Prng.create 17 in
+  for trial = 1 to 10 do
+    let n = 2 + Workloads.Prng.int rng 6 in
+    let g = Workloads.Random_dfg.random_dag rng ~n ~extra_edges:2 in
+    let pt = Srt.random_ptable (Workloads.Prng.split rng) ~library:lib3 g in
+    let a = Array.init n (fun _ -> Workloads.Prng.int rng 3) in
+    let deadline =
+      Assign.Assignment.makespan g (Srt.worst_case_table pt) a - 1
+    in
+    let deadline = max 1 deadline in
+    let exact = Srt.success_probability_exact g pt a ~deadline in
+    let mc =
+      Srt.success_probability_mc g pt a ~deadline ~samples:20000 ~seed:trial
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "trial %d: |%f - %f| small" trial exact mc)
+      true
+      (Float.abs (exact -. mc) < 0.03)
+  done
+
+let test_probability_monotone_in_deadline () =
+  let g = Workloads.Filters.diffeq () in
+  let rng = Workloads.Prng.create 19 in
+  let pt = Srt.random_ptable rng ~library:lib3 g in
+  let a =
+    Assign.Assignment.all_fastest (Srt.quantile_table pt ~q:0.5)
+  in
+  let tmax = Assign.Assignment.makespan g (Srt.worst_case_table pt) a in
+  let prev = ref 0.0 in
+  for deadline = 1 to tmax do
+    let p = Srt.success_probability_exact g pt a ~deadline in
+    Alcotest.(check bool) "monotone" true (p >= !prev -. 1e-12);
+    prev := p
+  done;
+  Alcotest.(check (float 1e-9)) "certain at worst case" 1.0 !prev
+
+let test_degenerate_reduces_to_deterministic () =
+  let g = diamond () in
+  let tbl =
+    table lib2
+      [ ([ 1; 2 ], [ 6; 2 ]); ([ 2; 3 ], [ 7; 3 ]); ([ 2; 4 ], [ 8; 2 ]); ([ 1; 2 ], [ 5; 1 ]) ]
+  in
+  let pt = degenerate_ptable tbl in
+  let a = [| 0; 0; 0; 0 |] in
+  let makespan = Assign.Assignment.makespan g tbl a in
+  Alcotest.(check (float 1e-9)) "P = 1 at makespan" 1.0
+    (Srt.success_probability_exact g pt a ~deadline:makespan);
+  Alcotest.(check (float 1e-9)) "P = 0 below" 0.0
+    (Srt.success_probability_exact g pt a ~deadline:(makespan - 1));
+  match Srt.solve g pt ~theta:1.0 ~deadline:8 with
+  | None -> Alcotest.fail "feasible"
+  | Some (a', cost, p) ->
+      Alcotest.(check (float 1e-9)) "certainty" 1.0 p;
+      Alcotest.(check int) "cost consistent" (Srt.total_cost pt a') cost;
+      Alcotest.(check bool) "meets hard deadline" true
+        (Assign.Assignment.is_feasible g tbl a' ~deadline:8)
+
+let test_solve_meets_theta () =
+  let rng = Workloads.Prng.create 23 in
+  for trial = 1 to 10 do
+    let n = 3 + Workloads.Prng.int rng 6 in
+    let g = Workloads.Random_dfg.random_dag rng ~n ~extra_edges:2 in
+    let pt = Srt.random_ptable (Workloads.Prng.split rng) ~library:lib3 g in
+    let worst = Srt.worst_case_table pt in
+    let tmin = Assign.Assignment.min_makespan g worst in
+    let deadline = tmin + Workloads.Prng.int rng 4 in
+    let theta = 0.9 in
+    match Srt.solve g pt ~theta ~deadline with
+    | None -> Alcotest.failf "trial %d: worst-case-feasible instance rejected" trial
+    | Some (a, _, claimed) ->
+        let actual = Srt.success_probability_exact g pt a ~deadline in
+        Alcotest.(check (float 1e-6))
+          (Printf.sprintf "trial %d: claimed probability is real" trial)
+          actual claimed;
+        Alcotest.(check bool)
+          (Printf.sprintf "trial %d: theta met (%f)" trial actual)
+          true (actual >= theta -. 1e-9)
+  done
+
+let test_cheaper_than_worst_case_when_slack_allows () =
+  (* with theta < 1 the solver may accept riskier, cheaper assignments than
+     the worst-case deterministic one; it must never be MORE expensive *)
+  let rng = Workloads.Prng.create 29 in
+  let g = Workloads.Filters.diffeq () in
+  let pt = Srt.random_ptable rng ~library:lib3 g in
+  let worst = Srt.worst_case_table pt in
+  let tmin = Assign.Assignment.min_makespan g worst in
+  let deadline = tmin + 4 in
+  match
+    (Srt.solve g pt ~theta:0.7 ~deadline, Assign.Dfg_assign.repeat g worst ~deadline)
+  with
+  | Some (_, soft_cost, _), Some hard ->
+      let hard_cost = Srt.total_cost pt hard in
+      Alcotest.(check bool)
+        (Printf.sprintf "soft %d <= hard %d" soft_cost hard_cost)
+        true (soft_cost <= hard_cost)
+  | _ -> Alcotest.fail "both should be feasible"
+
+let () =
+  Alcotest.run "assign.soft_realtime"
+    [
+      ( "model",
+        [
+          quick "validation" test_validation;
+          quick "quantiles" test_quantiles;
+          quick "exact probability on a chain" test_exact_probability_chain;
+          quick "monte-carlo agrees" test_mc_agrees_with_exact;
+          quick "probability monotone in deadline" test_probability_monotone_in_deadline;
+        ] );
+      ( "solver",
+        [
+          quick "degenerate = deterministic" test_degenerate_reduces_to_deterministic;
+          quick "meets theta" test_solve_meets_theta;
+          quick "soft <= worst-case cost" test_cheaper_than_worst_case_when_slack_allows;
+        ] );
+    ]
