@@ -187,10 +187,50 @@ let scaling_tests =
           Staged.stage (fun () -> Assign.Greedy.solve g tbl ~deadline));
     ]
 
+(* --- Kernel: flat/incremental solver layer vs reference --------------- *)
+
+(* Measures what the solver-context refactor bought on the SCALE sweep:
+   incremental DFG_Assign_Repeat (one Tree_kernel, ancestor-chain re-solves
+   per pin) against the original full-re-solve Repeat, and the flat tree DP
+   against the list-based reference, on the random-DAG/tree scaling
+   instances up to n = 200. *)
+let kernel_tests =
+  Test.make_grouped ~name:"kernel"
+    [
+      Test.make_indexed ~name:"repeat-incremental" ~args:[ 50; 100; 200 ]
+        (fun n ->
+          let g, tbl, deadline = scaling_dag_instance n in
+          Staged.stage (fun () -> Assign.Dfg_assign.repeat g tbl ~deadline));
+      Test.make_indexed ~name:"repeat-reference" ~args:[ 50; 100; 200 ]
+        (fun n ->
+          let g, tbl, deadline = scaling_dag_instance n in
+          Staged.stage (fun () ->
+              Assign.Dfg_assign.repeat_reference g tbl ~deadline));
+      Test.make_indexed ~name:"tree-flat" ~args:[ 200 ] (fun n ->
+          let g, tbl, deadline = scaling_instance n in
+          Staged.stage (fun () ->
+              Assign.Tree_assign.solve_with_cost g tbl ~deadline));
+      Test.make_indexed ~name:"tree-reference" ~args:[ 200 ] (fun n ->
+          let g, tbl, deadline = scaling_instance n in
+          Staged.stage (fun () ->
+              Assign.Tree_assign.solve_with_cost_reference g tbl ~deadline));
+      Test.make_indexed ~name:"frames" ~args:[ 200 ] (fun n ->
+          let g, tbl, deadline = scaling_dag_instance n in
+          let a =
+            match Assign.Dfg_assign.repeat g tbl ~deadline with
+            | Some a -> a
+            | None -> failwith "bench: kernel assignment infeasible"
+          in
+          Staged.stage (fun () -> Sched.Asap_alap.frames g tbl a ~deadline));
+    ]
+
 (* --- Runner ----------------------------------------------------------- *)
 
-let run_benchmarks tests =
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) () in
+let run_benchmarks ~quick tests =
+  let cfg =
+    if quick then Benchmark.cfg ~limit:1 ~quota:(Time.second 0.001) ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) ()
+  in
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -219,34 +259,59 @@ let run_benchmarks tests =
       Printf.printf "%-52s %14s %8s\n" name time_str r2)
     rows
 
+let all_groups =
+  [
+    ("fig1-3", fig_tests);
+    ("table1", table1_tests);
+    ("table2", table2_tests);
+    ("phase2-elliptic", sched_tests);
+    ("ablation-expand", ablation_tests);
+    ("extensions", extension_tests);
+    ("scaling", scaling_tests);
+    ("kernel", kernel_tests);
+  ]
+
+(* CLI: [bench/main.exe [GROUP ...] [--quick]]. Group names select a subset
+   of the Bechamel groups and skip the reproduction output; [--quick] runs
+   one iteration per test (the CI smoke configuration). No arguments =
+   full reproduction + all timing groups. *)
 let () =
-  (* Part 1: the reproduction output — every table and figure. *)
-  print_endline "=== Reproduction: Figures 1-3 (motivating example) ===";
-  print_endline (Core.Experiments.motivational ());
-  print_endline "=== Reproduction: Table 1 (tree benchmarks) ===";
-  List.iter
-    (fun r -> print_endline (Core.Experiments.render_report r))
-    (Core.Experiments.table1 ());
-  print_endline "=== Reproduction: Table 2 (general DFGs) ===";
-  List.iter
-    (fun r -> print_endline (Core.Experiments.render_report r))
-    (Core.Experiments.table2 ());
-  print_endline "=== Reproduction: ablations ===";
-  print_endline (Core.Experiments.ablation_expand ());
-  print_endline (Core.Experiments.ablation_order ());
-  print_endline "=== Reproduction: extension studies ===";
-  print_endline (Core.Experiments.extension_refinement ());
-  print_endline (Core.Experiments.extension_schedulers ());
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let wanted = List.filter (fun a -> a <> "--quick") args in
+  let groups =
+    match wanted with
+    | [] -> List.map snd all_groups
+    | names ->
+        List.map
+          (fun name ->
+            match List.assoc_opt name all_groups with
+            | Some g -> g
+            | None ->
+                Printf.eprintf "unknown bench group %S; known: %s\n" name
+                  (String.concat ", " (List.map fst all_groups));
+                exit 2)
+          names
+  in
+  if wanted = [] && not quick then begin
+    (* Part 1: the reproduction output — every table and figure. *)
+    print_endline "=== Reproduction: Figures 1-3 (motivating example) ===";
+    print_endline (Core.Experiments.motivational ());
+    print_endline "=== Reproduction: Table 1 (tree benchmarks) ===";
+    List.iter
+      (fun r -> print_endline (Core.Experiments.render_report r))
+      (Core.Experiments.table1 ());
+    print_endline "=== Reproduction: Table 2 (general DFGs) ===";
+    List.iter
+      (fun r -> print_endline (Core.Experiments.render_report r))
+      (Core.Experiments.table2 ());
+    print_endline "=== Reproduction: ablations ===";
+    print_endline (Core.Experiments.ablation_expand ());
+    print_endline (Core.Experiments.ablation_order ());
+    print_endline "=== Reproduction: extension studies ===";
+    print_endline (Core.Experiments.extension_refinement ());
+    print_endline (Core.Experiments.extension_schedulers ())
+  end;
   (* Part 2: Bechamel timings, one Test per table/figure. *)
   print_endline "=== Timings (Bechamel, OLS estimate per run) ===";
-  run_benchmarks
-    (Test.make_grouped ~name:"hetsched"
-       [
-         fig_tests;
-         table1_tests;
-         table2_tests;
-         sched_tests;
-         ablation_tests;
-         extension_tests;
-         scaling_tests;
-       ])
+  run_benchmarks ~quick (Test.make_grouped ~name:"hetsched" groups)

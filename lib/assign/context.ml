@@ -1,0 +1,56 @@
+type t = {
+  graph : Dfg.Graph.t;
+  table : Fulib.Table.t;
+  n : int;
+  k : int;
+  times : int array;
+  costs : int array;
+  min_times : int array;
+  min_costs : int array;
+  mutable kernel : Tree_kernel.t option;
+}
+
+let create graph table =
+  let n = Dfg.Graph.num_nodes graph in
+  if Fulib.Table.num_nodes table <> n then
+    invalid_arg "Context.create: graph/table node counts differ";
+  {
+    graph;
+    table;
+    n;
+    k = Fulib.Table.num_types table;
+    times = Fulib.Table.flat_times table;
+    costs = Fulib.Table.flat_costs table;
+    min_times = Fulib.Table.min_times_arr table;
+    min_costs = Fulib.Table.min_costs_arr table;
+    kernel = None;
+  }
+
+let graph t = t.graph
+let table t = t.table
+let num_nodes t = t.n
+let num_types t = t.k
+let times t = t.times
+let costs t = t.costs
+let min_times t = t.min_times
+let min_costs t = t.min_costs
+let time t ~node ~ftype = t.times.((node * t.k) + ftype)
+let cost t ~node ~ftype = t.costs.((node * t.k) + ftype)
+
+let tree_kernel t ~deadline =
+  match t.kernel with
+  | Some kr when Tree_kernel.deadline kr = deadline -> kr
+  | _ ->
+      (* The kernel owns (and may pin) its tables, so hand it copies. *)
+      let kr =
+        Tree_kernel.create t.graph ~times:(Array.copy t.times)
+          ~costs:(Array.copy t.costs) ~k:t.k ~deadline
+      in
+      t.kernel <- Some kr;
+      kr
+
+let dp_row t ~deadline ~node = Tree_kernel.dp_row (tree_kernel t ~deadline) ~node
+
+let min_makespan t =
+  let mt = t.min_times in
+  Dfg.Paths.longest_path t.graph ~weight:(fun v -> mt.(v))

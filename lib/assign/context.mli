@@ -1,0 +1,49 @@
+(** Shared solver context: one (graph, table) pair plus every flat view the
+    Phase-1 and Phase-2 kernels iterate over — CSR adjacency (via
+    {!Dfg.Graph}'s cache), flat [node * k + ftype] time/cost arrays,
+    per-node minimum rows, and a reusable {!Tree_kernel} whose DP matrices
+    are cached across calls at the same deadline (a deadline sweep that
+    reuses one context rebuilds the kernel only when the deadline changes).
+
+    Building a context is cheap — it only forces the lazy caches — and the
+    classic entry points ([Tree_assign.solve], [Dfg_assign.repeat], …)
+    build one internally when not handed one, so existing callers are
+    unaffected.
+
+    Invariants: the context never mutates the graph or table; every array
+    returned here is owned by the context/table and must be treated as
+    read-only; [tree_kernel] hands out a kernel whose tables are private
+    copies, so pinning through it cannot corrupt the context. *)
+
+type t
+
+(** Raises [Invalid_argument] when the table's node count differs from the
+    graph's. *)
+val create : Dfg.Graph.t -> Fulib.Table.t -> t
+
+val graph : t -> Dfg.Graph.t
+val table : t -> Fulib.Table.t
+val num_nodes : t -> int
+val num_types : t -> int
+
+(** Flat views (read-only, [node * num_types + ftype] indexing). *)
+val times : t -> int array
+
+val costs : t -> int array
+val min_times : t -> int array
+val min_costs : t -> int array
+val time : t -> node:int -> ftype:int -> int
+val cost : t -> node:int -> ftype:int -> int
+
+(** The context's cached tree-DP kernel for [deadline] (requires the DAG
+    portion to be a forest). Rebuilt only when the deadline changes;
+    repeated queries at one deadline reuse the solved matrices. *)
+val tree_kernel : t -> deadline:int -> Tree_kernel.t
+
+(** [Tree_assign.dp_row] served from the cached DP — O(deadline) per call
+    after the first at a given deadline. *)
+val dp_row : t -> deadline:int -> node:int -> int array
+
+(** All-fastest critical path (the smallest feasible deadline), from the
+    cached minimum rows. *)
+val min_makespan : t -> int

@@ -33,9 +33,31 @@ let min_time_choice table tree_assignment copies v =
         (fun acc c' -> better acc tree_assignment.(c'))
         tree_assignment.(c) rest
 
+(* Project the table's flat rows through the expansion's origin map: tree
+   copy [i] gets original node [origin.(i)]'s row. The result is owned by
+   the caller (the kernel pins into it). *)
+let project_flat table origin =
+  let k = Fulib.Table.num_types table in
+  let times = Fulib.Table.flat_times table in
+  let costs = Fulib.Table.flat_costs table in
+  let tn = Array.length origin in
+  let pt = Array.make (tn * k) 0 and pc = Array.make (tn * k) 0 in
+  for i = 0 to tn - 1 do
+    Array.blit times (origin.(i) * k) pt (i * k) k;
+    Array.blit costs (origin.(i) * k) pc (i * k) k
+  done;
+  (pt, pc)
+
+let tree_kernel tree table ~deadline =
+  let times, costs = project_flat table tree.Dfg.Expand.origin in
+  Tree_kernel.create tree.Dfg.Expand.graph ~times ~costs
+    ~k:(Fulib.Table.num_types table) ~deadline
+
 let solve_on_tree tree table ~deadline =
-  let tree_table = Fulib.Table.project table ~origin:tree.Dfg.Expand.origin in
-  Tree_assign.solve tree.Dfg.Expand.graph tree_table ~deadline
+  if deadline < 0 then None
+  else if Dfg.Graph.num_nodes tree.Dfg.Expand.graph = 0 then Some [||]
+  else
+    Option.map fst (Tree_kernel.solve (tree_kernel tree table ~deadline))
 
 let once_on_tree tree g table ~deadline =
   match solve_on_tree tree table ~deadline with
@@ -56,29 +78,80 @@ let once ?max_nodes g table ~deadline =
   let _, tree = choose_tree ?max_nodes g in
   once_on_tree tree g table ~deadline
 
+let order_dups tree order dups =
+  match order with
+  | `By_id -> dups
+  | `By_copies ->
+      (* Greatest copy count first; stable on ties (ascending id). *)
+      List.stable_sort
+        (fun u v ->
+          compare (Dfg.Expand.copy_count tree v) (Dfg.Expand.copy_count tree u))
+        dups
+  | `Reverse ->
+      List.rev
+        (List.stable_sort
+           (fun u v ->
+             compare
+               (Dfg.Expand.copy_count tree v)
+               (Dfg.Expand.copy_count tree u))
+           dups)
+
+(* [DFG_Assign_Repeat], incremental: one kernel is created for the expanded
+   tree, and each pinning pass re-solves only the DP rows of the pinned
+   copies' ancestor chains (the rows below them are unaffected by the pin),
+   instead of re-running the whole O(n·T·K) DP per duplicated node. *)
 let repeat_with_order ?max_nodes ~order g table ~deadline =
+  if deadline < 0 then None
+  else begin
+    let _, tree = choose_tree ?max_nodes g in
+    let dups = order_dups tree order (Dfg.Expand.duplicated_nodes tree) in
+    let n = Dfg.Graph.num_nodes g in
+    let a = Array.make n (-1) in
+    let exception Infeasible in
+    try
+      if n = 0 then Some [||]
+      else begin
+        let kernel = tree_kernel tree table ~deadline in
+        List.iter
+          (fun v ->
+            match Tree_kernel.solve kernel with
+            | None -> raise Infeasible
+            | Some (ta, _) ->
+                let t = min_time_choice table ta tree.Dfg.Expand.copies.(v) v in
+                a.(v) <- t;
+                List.iter
+                  (fun copy -> Tree_kernel.pin kernel ~node:copy ~ftype:t)
+                  tree.Dfg.Expand.copies.(v))
+          dups;
+        match Tree_kernel.solve kernel with
+        | None -> raise Infeasible
+        | Some (ta, _) ->
+            for v = 0 to n - 1 do
+              if a.(v) < 0 then
+                match tree.Dfg.Expand.copies.(v) with
+                | [ c ] -> a.(v) <- ta.(c)
+                | copies -> a.(v) <- min_time_choice table ta copies v
+            done;
+            Some a
+      end
+    with Infeasible -> None
+  end
+
+let repeat ?max_nodes g table ~deadline =
+  repeat_with_order ?max_nodes ~order:`By_copies g table ~deadline
+
+(* The original full-re-solve Repeat (a fresh list-based DP over a freshly
+   pinned table per duplicated node), kept as the differential-testing and
+   benchmarking baseline for the incremental version. *)
+let repeat_reference ?max_nodes g table ~deadline =
   let _, tree = choose_tree ?max_nodes g in
-  let dups = Dfg.Expand.duplicated_nodes tree in
-  let dups =
-    match order with
-    | `By_id -> dups
-    | `By_copies ->
-        (* Greatest copy count first; stable on ties (ascending id). *)
-        List.stable_sort
-          (fun u v ->
-            compare (Dfg.Expand.copy_count tree v) (Dfg.Expand.copy_count tree u))
-          dups
-    | `Reverse ->
-        List.rev
-          (List.stable_sort
-             (fun u v ->
-               compare
-                 (Dfg.Expand.copy_count tree v)
-                 (Dfg.Expand.copy_count tree u))
-             dups)
-  in
+  let dups = order_dups tree `By_copies (Dfg.Expand.duplicated_nodes tree) in
   let n = Dfg.Graph.num_nodes g in
   let a = Array.make n (-1) in
+  let solve_tree tbl =
+    Option.map fst
+      (Tree_assign.solve_with_cost_reference tree.Dfg.Expand.graph tbl ~deadline)
+  in
   let exception Infeasible in
   try
     let tree_table =
@@ -86,18 +159,17 @@ let repeat_with_order ?max_nodes ~order g table ~deadline =
     in
     List.iter
       (fun v ->
-        match
-          Tree_assign.solve tree.Dfg.Expand.graph !tree_table ~deadline
-        with
+        match solve_tree !tree_table with
         | None -> raise Infeasible
         | Some ta ->
             let t = min_time_choice table ta tree.Dfg.Expand.copies.(v) v in
             a.(v) <- t;
             List.iter
-              (fun copy -> tree_table := Fulib.Table.pin !tree_table ~node:copy ~ftype:t)
+              (fun copy ->
+                tree_table := Fulib.Table.pin !tree_table ~node:copy ~ftype:t)
               tree.Dfg.Expand.copies.(v))
       dups;
-    match Tree_assign.solve tree.Dfg.Expand.graph !tree_table ~deadline with
+    match solve_tree !tree_table with
     | None -> raise Infeasible
     | Some ta ->
         for v = 0 to n - 1 do
@@ -108,6 +180,3 @@ let repeat_with_order ?max_nodes ~order g table ~deadline =
         done;
         Some a
   with Infeasible -> None
-
-let repeat ?max_nodes g table ~deadline =
-  repeat_with_order ?max_nodes ~order:`By_copies g table ~deadline

@@ -30,7 +30,20 @@ val once :
   deadline:int ->
   Assignment.t option
 
+(** Incremental: pinning a duplicated node re-solves only the DP rows of
+    its copies' ancestor chains in the expanded tree ({!Tree_kernel}),
+    not the whole tree. Bit-identical to {!repeat_reference}. *)
 val repeat :
+  ?max_nodes:int ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  deadline:int ->
+  Assignment.t option
+
+(** The original full-re-solve [Repeat] (fresh list-based DP over a freshly
+    pinned table per duplicated node), kept for differential testing and as
+    the benchmark baseline. *)
+val repeat_reference :
   ?max_nodes:int ->
   Dfg.Graph.t ->
   Fulib.Table.t ->

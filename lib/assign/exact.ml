@@ -3,30 +3,29 @@ exception Budget_exhausted
 let solve ?(budget = 20_000_000) g table ~deadline =
   let n = Dfg.Graph.num_nodes g in
   let k = Fulib.Table.num_types table in
-  let order = Array.of_list (Dfg.Topo.sort g) in
+  let times = Fulib.Table.flat_times table in
+  let costs = Fulib.Table.flat_costs table in
+  let min_times = Fulib.Table.min_times_arr table in
+  let min_costs = Fulib.Table.min_costs_arr table in
+  let order = Dfg.Graph.topo_arr g in
   let current = Array.make n 0 in
   (* Suffix sums of per-node minimum costs over the branching order, for the
      admissible cost bound. *)
   let min_cost_suffix = Array.make (n + 1) 0 in
   for i = n - 1 downto 0 do
-    min_cost_suffix.(i) <-
-      min_cost_suffix.(i + 1) + Fulib.Table.min_cost table order.(i)
+    min_cost_suffix.(i) <- min_cost_suffix.(i + 1) + min_costs.(order.(i))
   done;
   let best_cost = ref max_int in
   let best = ref None in
   let expanded = ref 0 in
   let assigned = Array.make n false in
   let time v =
-    if assigned.(v) then Fulib.Table.time table ~node:v ~ftype:current.(v)
-    else Fulib.Table.min_time table v
+    if assigned.(v) then times.((v * k) + current.(v)) else min_times.(v)
   in
   let types_by_cost v =
     let ts = List.init k (fun t -> t) in
     List.sort
-      (fun t t' ->
-        compare
-          (Fulib.Table.cost table ~node:v ~ftype:t)
-          (Fulib.Table.cost table ~node:v ~ftype:t'))
+      (fun t t' -> compare costs.((v * k) + t) costs.((v * k) + t'))
       ts
   in
   let rec branch i cost_so_far =
@@ -44,8 +43,7 @@ let solve ?(budget = 20_000_000) g table ~deadline =
           current.(v) <- t;
           assigned.(v) <- true;
           let feasible = Dfg.Paths.longest_path g ~weight:time <= deadline in
-          if feasible then
-            branch (i + 1) (cost_so_far + Fulib.Table.cost table ~node:v ~ftype:t);
+          if feasible then branch (i + 1) (cost_so_far + costs.((v * k) + t));
           assigned.(v) <- false)
         (types_by_cost v)
     end

@@ -9,31 +9,30 @@ let path_through into out_of time v dt =
 let solve_with_cost g table ~deadline =
   let n = Dfg.Graph.num_nodes g in
   let k = Fulib.Table.num_types table in
+  let times = Fulib.Table.flat_times table in
+  let costs = Fulib.Table.flat_costs table in
   let a = Assignment.all_fastest table in
   if not (Assignment.is_feasible g table a ~deadline) then None
   else begin
-    let time v = Fulib.Table.time table ~node:v ~ftype:a.(v) in
+    let time v = times.((v * k) + a.(v)) in
     (* One naive pass in node order: each node takes its cheapest type that
        keeps the paths through it within the deadline, given the other
        nodes' current types. Early nodes grab the slack first — the
        "simple heuristic [that] may not produce the good result" the paper
        compares against. *)
-    let order = List.init n (fun i -> i) in
-    List.iter
-      (fun v ->
-        let into = Dfg.Paths.longest_to g ~weight:time in
-        let out_of = Dfg.Paths.longest_from g ~weight:time in
-        let best = ref a.(v) in
-        for t = 0 to k - 1 do
-          let dt = Fulib.Table.time table ~node:v ~ftype:t in
-          if
-            path_through into out_of time v dt <= deadline
-            && Fulib.Table.cost table ~node:v ~ftype:t
-               < Fulib.Table.cost table ~node:v ~ftype:!best
-          then best := t
-        done;
-        a.(v) <- !best)
-      order;
+    for v = 0 to n - 1 do
+      let into = Dfg.Paths.longest_to g ~weight:time in
+      let out_of = Dfg.Paths.longest_from g ~weight:time in
+      let best = ref a.(v) in
+      for t = 0 to k - 1 do
+        let dt = times.((v * k) + t) in
+        if
+          path_through into out_of time v dt <= deadline
+          && costs.((v * k) + t) < costs.((v * k) + !best)
+        then best := t
+      done;
+      a.(v) <- !best
+    done;
     Some (a, Assignment.total_cost table a)
   end
 
@@ -43,11 +42,13 @@ let solve g table ~deadline =
 let solve_iterative_with_cost g table ~deadline =
   let n = Dfg.Graph.num_nodes g in
   let k = Fulib.Table.num_types table in
+  let times = Fulib.Table.flat_times table in
+  let costs = Fulib.Table.flat_costs table in
   let a = Assignment.all_fastest table in
   if not (Assignment.is_feasible g table a ~deadline) then None
   else begin
-    let time v = Fulib.Table.time table ~node:v ~ftype:a.(v) in
-    let cost v = Fulib.Table.cost table ~node:v ~ftype:a.(v) in
+    let time v = times.((v * k) + a.(v)) in
+    let cost v = costs.((v * k) + a.(v)) in
     let rec improve () =
       let into = Dfg.Paths.longest_to g ~weight:time in
       let out_of = Dfg.Paths.longest_from g ~weight:time in
@@ -57,8 +58,8 @@ let solve_iterative_with_cost g table ~deadline =
       for v = 0 to n - 1 do
         for t = 0 to k - 1 do
           if t <> a.(v) then begin
-            let dt = Fulib.Table.time table ~node:v ~ftype:t in
-            let dc = Fulib.Table.cost table ~node:v ~ftype:t in
+            let dt = times.((v * k) + t) in
+            let dc = costs.((v * k) + t) in
             let gain = cost v - dc in
             if gain > 0 && path_through into out_of time v dt <= deadline
             then begin

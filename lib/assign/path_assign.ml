@@ -1,8 +1,38 @@
 let infeasible = max_int
 
-(* Run the prefix DP. Returns every row plus the per-node choice matrix used
-   by the traceback. *)
+(* Run the prefix DP over the table's flat views. Returns every row plus the
+   per-node choice matrix used by the traceback. *)
 let dp table ~deadline =
+  let n = Fulib.Table.num_nodes table in
+  let k = Fulib.Table.num_types table in
+  let times = Fulib.Table.flat_times table in
+  let costs = Fulib.Table.flat_costs table in
+  let prev = Array.make (deadline + 1) 0 in
+  let choice = Array.make_matrix n (deadline + 1) (-1) in
+  let row = Array.make (deadline + 1) infeasible in
+  let rows = Array.make n [||] in
+  for i = 0 to n - 1 do
+    Array.fill row 0 (deadline + 1) infeasible;
+    let trow = i * k in
+    for j = 0 to deadline do
+      for t = 0 to k - 1 do
+        let dt = times.(trow + t) in
+        if j - dt >= 0 && prev.(j - dt) <> infeasible then begin
+          let c = prev.(j - dt) + costs.(trow + t) in
+          if c < row.(j) then begin
+            row.(j) <- c;
+            choice.(i).(j) <- t
+          end
+        end
+      done
+    done;
+    rows.(i) <- Array.copy row;
+    Array.blit row 0 prev 0 (deadline + 1)
+  done;
+  (rows, choice)
+
+(* The original per-cell-accessor DP, kept for differential tests. *)
+let dp_reference table ~deadline =
   let n = Fulib.Table.num_nodes table in
   let k = Fulib.Table.num_types table in
   let prev = Array.make (deadline + 1) 0 in
@@ -28,7 +58,7 @@ let dp table ~deadline =
   done;
   (rows, choice)
 
-let solve_with_cost table ~deadline =
+let solve_of_dp dp table ~deadline =
   if deadline < 0 then None
   else begin
     let n = Fulib.Table.num_nodes table in
@@ -50,6 +80,11 @@ let solve_with_cost table ~deadline =
       end
     end
   end
+
+let solve_with_cost table ~deadline = solve_of_dp dp table ~deadline
+
+let solve_with_cost_reference table ~deadline =
+  solve_of_dp dp_reference table ~deadline
 
 let solve table ~deadline =
   Option.map fst (solve_with_cost table ~deadline)

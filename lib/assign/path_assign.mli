@@ -10,8 +10,14 @@
     even the all-fastest assignment misses the deadline. *)
 val solve : Fulib.Table.t -> deadline:int -> Assignment.t option
 
-(** [solve_with_cost] also returns the optimal system cost. *)
+(** [solve_with_cost] also returns the optimal system cost. Runs over the
+    table's flat views ({!Fulib.Table.flat_times}); bit-identical to
+    {!solve_with_cost_reference}. *)
 val solve_with_cost :
+  Fulib.Table.t -> deadline:int -> (Assignment.t * int) option
+
+(** The original per-cell-accessor DP, kept for differential testing. *)
+val solve_with_cost_reference :
   Fulib.Table.t -> deadline:int -> (Assignment.t * int) option
 
 (** [solve_graph g table ~deadline] checks that [g]'s DAG portion is a simple

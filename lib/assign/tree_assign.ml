@@ -4,8 +4,11 @@ let check_tree g =
   if not (Dfg.Graph.is_tree g) then
     invalid_arg "Tree_assign: DAG portion is not a forest"
 
-(* Compute X and the per-(node, budget) type choice, in post-order. *)
-let dp g table ~deadline =
+(* --- Reference implementation ----------------------------------------- *)
+(* The original list-based DP, kept verbatim for differential tests and
+   benchmark baselines: the flat kernel must return bit-identical results. *)
+
+let dp_reference g table ~deadline =
   let n = Dfg.Graph.num_nodes g in
   let k = Fulib.Table.num_types table in
   let x = Array.make_matrix n (deadline + 1) infeasible in
@@ -41,14 +44,14 @@ let dp g table ~deadline =
     (Dfg.Topo.post_order g);
   (x, choice)
 
-let solve_with_cost g table ~deadline =
+let solve_with_cost_reference g table ~deadline =
   check_tree g;
   if deadline < 0 then None
   else begin
     let n = Dfg.Graph.num_nodes g in
     if n = 0 then Some ([||], 0)
     else begin
-      let x, choice = dp g table ~deadline in
+      let x, choice = dp_reference g table ~deadline in
       let roots = Dfg.Graph.roots g in
       if List.exists (fun r -> x.(r).(deadline) = infeasible) roots then None
       else begin
@@ -69,6 +72,18 @@ let solve_with_cost g table ~deadline =
     end
   end
 
+(* --- Flat-kernel implementation --------------------------------------- *)
+
+let solve_with_cost_ctx ctx ~deadline =
+  let g = Context.graph ctx in
+  check_tree g;
+  if deadline < 0 then None
+  else if Dfg.Graph.num_nodes g = 0 then Some ([||], 0)
+  else Tree_kernel.solve (Context.tree_kernel ctx ~deadline)
+
+let solve_with_cost g table ~deadline =
+  solve_with_cost_ctx (Context.create g table) ~deadline
+
 let solve g table ~deadline =
   Option.map fst (solve_with_cost g table ~deadline)
 
@@ -76,7 +91,7 @@ let solve_auto g table ~deadline =
   if Dfg.Graph.is_tree g then solve_with_cost g table ~deadline
   else solve_with_cost (Dfg.Transpose.transpose g) table ~deadline
 
-let dp_row g table ~deadline ~node =
+let dp_row ?ctx g table ~deadline ~node =
   check_tree g;
-  let x, _ = dp g table ~deadline in
-  x.(node)
+  let ctx = match ctx with Some c -> c | None -> Context.create g table in
+  Context.dp_row ctx ~deadline ~node

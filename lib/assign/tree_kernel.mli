@@ -1,0 +1,45 @@
+(** Flat, incremental DP kernel for [Tree_Assign] (paper §5.2).
+
+    A kernel owns preallocated DP matrices (flat int arrays) for one
+    (forest, flat time/cost table, deadline) triple and supports:
+
+    - {!solve}: the optimal forest assignment, recomputing only DP rows
+      invalidated since the previous solve;
+    - {!pin}: collapse a node's time/cost row to one type (the
+      [DFG_Assign_Repeat] fixing step), dirtying just the node and its
+      ancestor chain — so the re-solve after a pin costs O(depth · T · K)
+      instead of O(n · T · K);
+    - {!dp_row}: a copy of one node's DP row from the cached matrices.
+
+    Results are bit-identical to the reference list-based DP
+    ({!Tree_assign.solve_with_cost_reference}): same recurrence, same
+    first-minimum tie-breaking, same traceback. *)
+
+type t
+
+(** [create g ~times ~costs ~k ~deadline] over flat [node * k + ftype]
+    tables. The kernel takes ownership of [times]/[costs]: {!pin} mutates
+    them in place. Raises [Invalid_argument] when the DAG portion of [g] is
+    not a forest, the deadline is negative, or array sizes mismatch. *)
+val create :
+  Dfg.Graph.t ->
+  times:int array ->
+  costs:int array ->
+  k:int ->
+  deadline:int ->
+  t
+
+val deadline : t -> int
+
+(** [solve t] is [Some (assignment, total_cost)] or [None] when some root's
+    subtree cannot meet the deadline. First call runs the full DP; later
+    calls recompute only rows dirtied by {!pin}. *)
+val solve : t -> (int array * int) option
+
+(** [pin t ~node ~ftype] overwrites [node]'s time/cost row with the pinned
+    type's values, so every type choice becomes equivalent to [ftype]. *)
+val pin : t -> node:int -> ftype:int -> unit
+
+(** [dp_row t ~node] is a fresh copy of X_node — entry [j] is the minimum
+    subtree cost within path budget [j] ([max_int] = infeasible). *)
+val dp_row : t -> node:int -> int array

@@ -38,10 +38,15 @@ let min_deadline g table = Assign.Assignment.min_makespan g table
 type scheduler = List_scheduling | Force_directed
 
 let run ?(scheduler = List_scheduling) algorithm g table ~deadline =
+  (* ASAP/ALAP starts are computed once per synthesis run and threaded
+     through the bound and the scheduler. *)
   let schedule_with g table a ~deadline =
-    match scheduler with
-    | List_scheduling -> Sched.Min_resource.run g table a ~deadline
-    | Force_directed -> Sched.Force_directed.run g table a ~deadline
+    match Sched.Asap_alap.frames g table a ~deadline with
+    | None -> None
+    | Some frames -> (
+        match scheduler with
+        | List_scheduling -> Sched.Min_resource.run ~frames g table a ~deadline
+        | Force_directed -> Sched.Force_directed.run ~frames g table a ~deadline)
   in
   match assign algorithm g table ~deadline with
   | None -> None

@@ -24,14 +24,12 @@ let expand ?(max_nodes = 200_000) g =
      of the whole sub-DAG unfolded into a tree. *)
   let rec clone v =
     let id = fresh_copy v in
-    List.iter
-      (fun w ->
+    Graph.iter_dag_succs g v (fun w ->
         let child = clone w in
-        edges := { Graph.src = id; dst = child; delay = 0 } :: !edges)
-      (Graph.dag_succs g v);
+        edges := { Graph.src = id; dst = child; delay = 0 } :: !edges);
     id
   in
-  List.iter (fun r -> ignore (clone r)) (Graph.roots g);
+  Array.iter (fun r -> ignore (clone r)) (Graph.roots_arr g);
   let names = Array.of_list (List.rev !rev_names) in
   let ops = Array.of_list (List.rev !rev_ops) in
   let origin = Array.of_list (List.rev !rev_origin) in

@@ -1,10 +1,30 @@
 type edge = { src : int; dst : int; delay : int }
 
+(* Flat, cache-friendly view of the DAG portion (zero-delay subgraph),
+   built once at construction: CSR adjacency (offsets + targets), total
+   edge count, roots/leaves, forest flag, and lazily-computed topological
+   and post orders. Every derived quantity the solver kernels iterate over
+   in inner loops is served from here without allocating lists. *)
+type csr = {
+  num_edges : int;  (* edges of any delay *)
+  succ_off : int array;  (* length n+1; zero-delay succs of v at
+                            [succ_off.(v) .. succ_off.(v+1) - 1] *)
+  succ_tgt : int array;
+  pred_off : int array;
+  pred_tgt : int array;
+  roots : int array;  (* ascending *)
+  leaves : int array;  (* ascending *)
+  is_tree : bool;
+  mutable topo : int array option;
+  mutable post : int array option;
+}
+
 type t = {
   names : string array;
   ops : string array;
   succs : (int * int) list array;
   preds : (int * int) list array;
+  csr : csr;
 }
 
 let num_nodes g = Array.length g.names
@@ -14,13 +34,214 @@ let names g = Array.copy g.names
 let succs g v = g.succs.(v)
 let preds g v = g.preds.(v)
 
+(* --- CSR construction ------------------------------------------------- *)
+
+let build_csr n succs preds =
+  let num_edges = Array.fold_left (fun acc l -> acc + List.length l) 0 succs in
+  let count_zero l =
+    List.fold_left (fun acc (_, d) -> if d = 0 then acc + 1 else acc) 0 l
+  in
+  let fill adj =
+    let off = Array.make (n + 1) 0 in
+    for v = 0 to n - 1 do
+      off.(v + 1) <- off.(v) + count_zero adj.(v)
+    done;
+    let tgt = Array.make off.(n) 0 in
+    for v = 0 to n - 1 do
+      let i = ref off.(v) in
+      List.iter
+        (fun (w, d) ->
+          if d = 0 then begin
+            tgt.(!i) <- w;
+            incr i
+          end)
+        adj.(v)
+    done;
+    (off, tgt)
+  in
+  let succ_off, succ_tgt = fill succs in
+  let pred_off, pred_tgt = fill preds in
+  let collect pred =
+    let count = ref 0 in
+    for v = 0 to n - 1 do
+      if pred.(v + 1) = pred.(v) then incr count
+    done;
+    let out = Array.make !count 0 in
+    let i = ref 0 in
+    for v = 0 to n - 1 do
+      if pred.(v + 1) = pred.(v) then begin
+        out.(!i) <- v;
+        incr i
+      end
+    done;
+    out
+  in
+  let roots = collect pred_off in
+  let leaves = collect succ_off in
+  let is_tree =
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if pred_off.(v + 1) - pred_off.(v) > 1 then ok := false
+    done;
+    !ok
+  in
+  {
+    num_edges;
+    succ_off;
+    succ_tgt;
+    pred_off;
+    pred_tgt;
+    roots;
+    leaves;
+    is_tree;
+    topo = None;
+    post = None;
+  }
+
+(* Kahn's algorithm over the CSR view with a binary min-heap frontier keyed
+   by node id — the same "smallest ready node first" tie-breaking as the
+   historical sorted-list frontier, so orders are bit-stable. Returns the
+   number of ordered nodes (< n exactly when the subgraph has a cycle). *)
+let kahn n ~adj_off ~adj_tgt ~deg ~out =
+  let heap = Array.make (max n 1) 0 in
+  let size = ref 0 in
+  let push v =
+    let i = ref !size in
+    incr size;
+    heap.(!i) <- v;
+    let continue = ref true in
+    while !continue && !i > 0 do
+      let p = (!i - 1) / 2 in
+      if heap.(p) > heap.(!i) then begin
+        let tmp = heap.(p) in
+        heap.(p) <- heap.(!i);
+        heap.(!i) <- tmp;
+        i := p
+      end
+      else continue := false
+    done
+  in
+  let pop () =
+    let top = heap.(0) in
+    decr size;
+    heap.(0) <- heap.(!size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < !size && heap.(l) < heap.(!smallest) then smallest := l;
+      if r < !size && heap.(r) < heap.(!smallest) then smallest := r;
+      if !smallest <> !i then begin
+        let tmp = heap.(!smallest) in
+        heap.(!smallest) <- heap.(!i);
+        heap.(!i) <- tmp;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    top
+  in
+  for v = 0 to n - 1 do
+    if deg.(v) = 0 then push v
+  done;
+  let m = ref 0 in
+  while !size > 0 do
+    let v = pop () in
+    out.(!m) <- v;
+    incr m;
+    for i = adj_off.(v) to adj_off.(v + 1) - 1 do
+      let w = adj_tgt.(i) in
+      deg.(w) <- deg.(w) - 1;
+      if deg.(w) = 0 then push w
+    done
+  done;
+  !m
+
+let compute_topo g =
+  let n = num_nodes g in
+  let c = g.csr in
+  let deg = Array.init n (fun v -> c.pred_off.(v + 1) - c.pred_off.(v)) in
+  let out = Array.make n 0 in
+  let m = kahn n ~adj_off:c.succ_off ~adj_tgt:c.succ_tgt ~deg ~out in
+  if m < n then invalid_arg "Graph: zero-delay subgraph contains a cycle";
+  out
+
+let compute_post g =
+  let n = num_nodes g in
+  let c = g.csr in
+  let deg = Array.init n (fun v -> c.succ_off.(v + 1) - c.succ_off.(v)) in
+  let out = Array.make n 0 in
+  let m = kahn n ~adj_off:c.pred_off ~adj_tgt:c.pred_tgt ~deg ~out in
+  if m < n then invalid_arg "Graph: zero-delay subgraph contains a cycle";
+  out
+
+(* --- Flat accessors (read-only arrays: callers must not mutate) ------- *)
+
+let csr_succs g = (g.csr.succ_off, g.csr.succ_tgt)
+let csr_preds g = (g.csr.pred_off, g.csr.pred_tgt)
+let roots_arr g = g.csr.roots
+let leaves_arr g = g.csr.leaves
+
+let topo_arr g =
+  match g.csr.topo with
+  | Some o -> o
+  | None ->
+      let o = compute_topo g in
+      g.csr.topo <- Some o;
+      o
+
+let post_arr g =
+  match g.csr.post with
+  | Some o -> o
+  | None ->
+      let o = compute_post g in
+      g.csr.post <- Some o;
+      o
+
+let iter_dag_succs g v f =
+  let c = g.csr in
+  for i = c.succ_off.(v) to c.succ_off.(v + 1) - 1 do
+    f c.succ_tgt.(i)
+  done
+
+let iter_dag_preds g v f =
+  let c = g.csr in
+  for i = c.pred_off.(v) to c.pred_off.(v + 1) - 1 do
+    f c.pred_tgt.(i)
+  done
+
+let fold_dag_succs g v ~init ~f =
+  let c = g.csr in
+  let acc = ref init in
+  for i = c.succ_off.(v) to c.succ_off.(v + 1) - 1 do
+    acc := f !acc c.succ_tgt.(i)
+  done;
+  !acc
+
+let fold_dag_preds g v ~init ~f =
+  let c = g.csr in
+  let acc = ref init in
+  for i = c.pred_off.(v) to c.pred_off.(v + 1) - 1 do
+    acc := f !acc c.pred_tgt.(i)
+  done;
+  !acc
+
+(* --- List views (kept for callers outside the hot kernels) ------------ *)
+
 let dag_succs g v =
-  List.filter_map (fun (w, d) -> if d = 0 then Some w else None) g.succs.(v)
+  let c = g.csr in
+  List.init
+    (c.succ_off.(v + 1) - c.succ_off.(v))
+    (fun i -> c.succ_tgt.(c.succ_off.(v) + i))
 
 let dag_preds g v =
-  List.filter_map (fun (w, d) -> if d = 0 then Some w else None) g.preds.(v)
+  let c = g.csr in
+  List.init
+    (c.pred_off.(v + 1) - c.pred_off.(v))
+    (fun i -> c.pred_tgt.(c.pred_off.(v) + i))
 
-let num_edges g = Array.fold_left (fun acc l -> acc + List.length l) 0 g.succs
+let num_edges g = g.csr.num_edges
 
 let edges g =
   let acc = ref [] in
@@ -31,59 +252,12 @@ let edges g =
   done;
   !acc
 
-let dag_out_degree g v = List.length (dag_succs g v)
-let dag_in_degree g v = List.length (dag_preds g v)
-
-let roots g =
-  let rec collect v acc =
-    if v < 0 then acc
-    else collect (v - 1) (if dag_in_degree g v = 0 then v :: acc else acc)
-  in
-  collect (num_nodes g - 1) []
-
-let leaves g =
-  let rec collect v acc =
-    if v < 0 then acc
-    else collect (v - 1) (if dag_out_degree g v = 0 then v :: acc else acc)
-  in
-  collect (num_nodes g - 1) []
-
-let is_tree g =
-  let rec check v = v < 0 || (dag_in_degree g v <= 1 && check (v - 1)) in
-  check (num_nodes g - 1)
-
+let dag_out_degree g v = g.csr.succ_off.(v + 1) - g.csr.succ_off.(v)
+let dag_in_degree g v = g.csr.pred_off.(v + 1) - g.csr.pred_off.(v)
+let roots g = Array.to_list g.csr.roots
+let leaves g = Array.to_list g.csr.leaves
+let is_tree g = g.csr.is_tree
 let mem_edge g ~src ~dst = List.exists (fun (w, _) -> w = dst) g.succs.(src)
-
-(* Detect a cycle among zero-delay edges with an iterative three-colour DFS
-   (0 = white, 1 = grey, 2 = black); recursion could overflow on deep
-   generated graphs. *)
-let dag_portion_has_cycle g =
-  let n = num_nodes g in
-  let colour = Array.make n 0 in
-  let found = ref false in
-  let rec visit stack =
-    match stack with
-    | [] -> ()
-    | `Enter v :: rest ->
-        if colour.(v) = 1 then found := true;
-        if colour.(v) <> 0 || !found then visit rest
-        else begin
-          colour.(v) <- 1;
-          let children = List.map (fun w -> `Enter w) (dag_succs g v) in
-          visit (children @ (`Exit v :: rest))
-        end
-    | `Exit v :: rest ->
-        colour.(v) <- 2;
-        visit rest
-  in
-  let rec try_roots v =
-    if v >= n || !found then !found
-    else begin
-      if colour.(v) = 0 then visit [ `Enter v ];
-      try_roots (v + 1)
-    end
-  in
-  try_roots 0
 
 let of_edges ~names ?ops edge_list =
   let n = Array.length names in
@@ -112,9 +286,11 @@ let of_edges ~names ?ops edge_list =
     edge_list;
   Array.iteri (fun i l -> succs.(i) <- List.rev l) succs;
   Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
-  let g = { names = Array.copy names; ops; succs; preds } in
-  if dag_portion_has_cycle g then
-    invalid_arg "Graph.of_edges: zero-delay subgraph contains a cycle";
+  let g = { names = Array.copy names; ops; succs; preds; csr = build_csr n succs preds } in
+  (* Acyclicity check = computing (and caching) the topological order. *)
+  (try g.csr.topo <- Some (compute_topo g)
+   with Invalid_argument _ ->
+     invalid_arg "Graph.of_edges: zero-delay subgraph contains a cycle");
   g
 
 let pp ppf g =

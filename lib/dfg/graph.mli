@@ -54,6 +54,39 @@ val leaves : t -> int list
     most one zero-delay parent. *)
 val is_tree : t -> bool
 
+(** {2 Flat (CSR) views of the DAG portion}
+
+    The zero-delay subgraph is also cached in compressed-sparse-row form at
+    construction: adjacency as [(offsets, targets)] int arrays, with node
+    [v]'s neighbours at [targets.(offsets.(v)) .. targets.(offsets.(v+1)-1)]
+    in the same order as {!dag_succs}/{!dag_preds}. Degree, root/leaf and
+    order queries are O(1)/amortised and allocation-free — this is the view
+    the solver kernels run on. All returned arrays are owned by the graph:
+    treat them as read-only. *)
+
+val csr_succs : t -> int array * int array
+val csr_preds : t -> int array * int array
+
+(** Roots/leaves of the DAG portion as cached ascending arrays. *)
+val roots_arr : t -> int array
+
+val leaves_arr : t -> int array
+
+(** Cached topological / post order of the DAG portion (computed on first
+    use). Same deterministic smallest-ready-node-first orders as
+    {!Topo.sort} and {!Topo.post_order}, which are implemented on top. *)
+val topo_arr : t -> int array
+
+val post_arr : t -> int array
+
+(** Allocation-free iteration over zero-delay neighbours, in adjacency
+    order. *)
+val iter_dag_succs : t -> int -> (int -> unit) -> unit
+
+val iter_dag_preds : t -> int -> (int -> unit) -> unit
+val fold_dag_succs : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+val fold_dag_preds : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a
+
 (** [mem_edge g ~src ~dst] is true when some edge (any delay) links [src] to
     [dst]. *)
 val mem_edge : t -> src:int -> dst:int -> bool

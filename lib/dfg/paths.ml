@@ -1,34 +1,34 @@
 let longest_from g ~weight =
   let n = Graph.num_nodes g in
   let best = Array.make n 0 in
-  List.iter
+  Array.iter
     (fun v ->
       let tail =
-        List.fold_left (fun acc w -> max acc best.(w)) 0 (Graph.dag_succs g v)
+        Graph.fold_dag_succs g v ~init:0 ~f:(fun acc w -> max acc best.(w))
       in
       let wv = weight v in
       if wv < 0 then invalid_arg "Paths: negative weight";
       best.(v) <- wv + tail)
-    (Topo.post_order g);
+    (Graph.post_arr g);
   best
 
 let longest_to g ~weight =
   let n = Graph.num_nodes g in
   let best = Array.make n 0 in
-  List.iter
+  Array.iter
     (fun v ->
       let head =
-        List.fold_left (fun acc p -> max acc best.(p)) 0 (Graph.dag_preds g v)
+        Graph.fold_dag_preds g v ~init:0 ~f:(fun acc p -> max acc best.(p))
       in
       let wv = weight v in
       if wv < 0 then invalid_arg "Paths: negative weight";
       best.(v) <- wv + head)
-    (Topo.sort g);
+    (Graph.topo_arr g);
   best
 
 let longest_path g ~weight =
   let from = longest_from g ~weight in
-  List.fold_left (fun acc r -> max acc from.(r)) 0 (Graph.roots g)
+  Array.fold_left (fun acc r -> max acc from.(r)) 0 (Graph.roots_arr g)
 
 let critical_paths g =
   let rec extend v =
@@ -42,11 +42,10 @@ let critical_paths g =
 let count_critical_paths g =
   let n = Graph.num_nodes g in
   let count = Array.make n 0 in
-  List.iter
+  Array.iter
     (fun v ->
       count.(v) <-
-        (match Graph.dag_succs g v with
-        | [] -> 1
-        | succs -> List.fold_left (fun acc w -> acc + count.(w)) 0 succs))
-    (Topo.post_order g);
-  List.fold_left (fun acc r -> acc + count.(r)) 0 (Graph.roots g)
+        (if Graph.dag_out_degree g v = 0 then 1
+         else Graph.fold_dag_succs g v ~init:0 ~f:(fun acc w -> acc + count.(w))))
+    (Graph.post_arr g);
+  Array.fold_left (fun acc r -> acc + count.(r)) 0 (Graph.roots_arr g)

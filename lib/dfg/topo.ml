@@ -1,69 +1,20 @@
-(* Kahn's algorithm with a sorted frontier for deterministic output. The
-   frontier is kept as a min-heap implemented over a sorted list; graphs here
-   are small (at most a few thousand nodes), so the O(n^2) worst case of list
-   insertion is irrelevant next to determinism and simplicity. *)
+(* Orders are computed once per graph and cached inside [Graph] (Kahn's
+   algorithm with a min-heap frontier keyed by node id, so ties break
+   deterministically toward the smallest ready node — the same order the
+   historical sorted-list frontier produced). These entry points only
+   convert the cached arrays to lists for compatibility. *)
 
-let insert_sorted v l =
-  let rec go = function
-    | [] -> [ v ]
-    | x :: rest as all -> if v <= x then v :: all else x :: go rest
-  in
-  go l
-
-let sort g =
-  let n = Graph.num_nodes g in
-  let indeg = Array.init n (fun v -> Graph.dag_in_degree g v) in
-  let frontier =
-    List.filter (fun v -> indeg.(v) = 0) (List.init n (fun i -> i))
-  in
-  let rec drain frontier acc =
-    match frontier with
-    | [] -> List.rev acc
-    | v :: rest ->
-        let rest =
-          List.fold_left
-            (fun fr w ->
-              indeg.(w) <- indeg.(w) - 1;
-              if indeg.(w) = 0 then insert_sorted w fr else fr)
-            rest (Graph.dag_succs g v)
-        in
-        drain rest (v :: acc)
-  in
-  let order = drain frontier [] in
-  assert (List.length order = n);
-  order
-
-let post_order g =
-  let n = Graph.num_nodes g in
-  let outdeg = Array.init n (fun v -> Graph.dag_out_degree g v) in
-  let frontier =
-    List.filter (fun v -> outdeg.(v) = 0) (List.init n (fun i -> i))
-  in
-  let rec drain frontier acc =
-    match frontier with
-    | [] -> List.rev acc
-    | v :: rest ->
-        let rest =
-          List.fold_left
-            (fun fr w ->
-              outdeg.(w) <- outdeg.(w) - 1;
-              if outdeg.(w) = 0 then insert_sorted w fr else fr)
-            rest (Graph.dag_preds g v)
-        in
-        drain rest (v :: acc)
-  in
-  drain frontier []
+let sort g = Array.to_list (Graph.topo_arr g)
+let post_order g = Array.to_list (Graph.post_arr g)
 
 let levels g =
   let n = Graph.num_nodes g in
   let level = Array.make n 0 in
-  List.iter
+  Array.iter
     (fun v ->
       let parent_level =
-        List.fold_left
-          (fun acc p -> max acc (level.(p) + 1))
-          0 (Graph.dag_preds g v)
+        Graph.fold_dag_preds g v ~init:0 ~f:(fun acc p -> max acc (level.(p) + 1))
       in
       level.(v) <- parent_level)
-    (sort g);
+    (Graph.topo_arr g);
   level

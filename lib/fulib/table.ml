@@ -1,7 +1,21 @@
+(* Flat view of the time/cost matrices, built lazily on first use and
+   cached: [times.(v * k + t)] indexing plus per-node minimum rows. The
+   solver kernels (Path/Tree DPs, Exact's bounds, Greedy's sweeps) iterate
+   over these instead of calling the per-cell accessors. *)
+type flat = {
+  ftimes : int array;
+  fcosts : int array;
+  fmin_times : int array;
+  fmin_time_types : int array;
+  fmin_costs : int array;
+  fmin_cost_types : int array;
+}
+
 type t = {
   library : Library.t;
   time : int array array;
   cost : int array array;
+  mutable flat : flat option;
 }
 
 let make ~library ~time ~cost =
@@ -30,6 +44,7 @@ let make ~library ~time ~cost =
     library;
     time = Array.map Array.copy time;
     cost = Array.map Array.copy cost;
+    flat = None;
   }
 
 let library t = t.library
@@ -45,10 +60,38 @@ let arg_min row =
   done;
   !best
 
-let min_time_type t v = arg_min t.time.(v)
-let min_time t v = t.time.(v).(min_time_type t v)
-let min_cost_type t v = arg_min t.cost.(v)
-let min_cost t v = t.cost.(v).(min_cost_type t v)
+let build_flat t =
+  let n = num_nodes t and k = num_types t in
+  let ftimes = Array.make (n * k) 0 and fcosts = Array.make (n * k) 0 in
+  let fmin_times = Array.make n 0 and fmin_time_types = Array.make n 0 in
+  let fmin_costs = Array.make n 0 and fmin_cost_types = Array.make n 0 in
+  for v = 0 to n - 1 do
+    Array.blit t.time.(v) 0 ftimes (v * k) k;
+    Array.blit t.cost.(v) 0 fcosts (v * k) k;
+    let tt = arg_min t.time.(v) and ct = arg_min t.cost.(v) in
+    fmin_time_types.(v) <- tt;
+    fmin_times.(v) <- t.time.(v).(tt);
+    fmin_cost_types.(v) <- ct;
+    fmin_costs.(v) <- t.cost.(v).(ct)
+  done;
+  { ftimes; fcosts; fmin_times; fmin_time_types; fmin_costs; fmin_cost_types }
+
+let flat t =
+  match t.flat with
+  | Some f -> f
+  | None ->
+      let f = build_flat t in
+      t.flat <- Some f;
+      f
+
+let flat_times t = (flat t).ftimes
+let flat_costs t = (flat t).fcosts
+let min_times_arr t = (flat t).fmin_times
+let min_costs_arr t = (flat t).fmin_costs
+let min_time_type t v = (flat t).fmin_time_types.(v)
+let min_time t v = (flat t).fmin_times.(v)
+let min_cost_type t v = (flat t).fmin_cost_types.(v)
+let min_cost t v = (flat t).fmin_costs.(v)
 
 let pin t ~node ~ftype =
   let k = num_types t in
@@ -56,13 +99,14 @@ let pin t ~node ~ftype =
   let cost = Array.map Array.copy t.cost in
   time.(node) <- Array.make k t.time.(node).(ftype);
   cost.(node) <- Array.make k t.cost.(node).(ftype);
-  { t with time; cost }
+  { library = t.library; time; cost; flat = None }
 
 let project t ~origin =
   {
-    t with
+    library = t.library;
     time = Array.map (fun v -> Array.copy t.time.(v)) origin;
     cost = Array.map (fun v -> Array.copy t.cost.(v)) origin;
+    flat = None;
   }
 
 let pp ~names ppf t =

@@ -28,6 +28,22 @@ val min_cost : t -> int -> int
 
 val min_cost_type : t -> int -> int
 
+(** {2 Flat views}
+
+    The matrices are also cached (lazily, on first use) as flat int arrays
+    with [node * num_types + ftype] indexing, plus per-node minimum rows.
+    The returned arrays are owned by the table: treat them as read-only.
+    These are what the DP kernels iterate over — one bounds-checked load per
+    cell instead of two, and no per-call closure allocation. *)
+
+val flat_times : t -> int array
+val flat_costs : t -> int array
+
+(** [min_times_arr t].(v) = {!min_time}[ t v]; likewise for costs. *)
+val min_times_arr : t -> int array
+
+val min_costs_arr : t -> int array
+
 (** [pin t ~node ~ftype] returns a table in which [node]'s row is collapsed
     to the pinned type: every type choice now has the pinned time and cost,
     so any assignment of [node] is equivalent to choosing [ftype]. This is

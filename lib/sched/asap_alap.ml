@@ -1,34 +1,39 @@
-let node_time table a v = Fulib.Table.time table ~node:v ~ftype:a.(v)
-
 let asap g table a =
   let n = Dfg.Graph.num_nodes g in
+  let k = Fulib.Table.num_types table in
+  let times = Fulib.Table.flat_times table in
   let start = Array.make n 0 in
-  List.iter
+  Array.iter
     (fun v ->
       let ready =
-        List.fold_left
-          (fun acc p -> max acc (start.(p) + node_time table a p))
-          0 (Dfg.Graph.dag_preds g v)
+        Dfg.Graph.fold_dag_preds g v ~init:0 ~f:(fun acc p ->
+            max acc (start.(p) + times.((p * k) + a.(p))))
       in
       start.(v) <- ready)
-    (Dfg.Topo.sort g);
+    (Dfg.Graph.topo_arr g);
   start
 
 let alap g table a ~deadline =
   let n = Dfg.Graph.num_nodes g in
+  let k = Fulib.Table.num_types table in
+  let times = Fulib.Table.flat_times table in
   let start = Array.make n 0 in
   let feasible = ref true in
-  List.iter
+  Array.iter
     (fun v ->
       let latest_finish =
-        List.fold_left
-          (fun acc s -> min acc start.(s))
-          deadline (Dfg.Graph.dag_succs g v)
+        Dfg.Graph.fold_dag_succs g v ~init:deadline ~f:(fun acc s ->
+            min acc start.(s))
       in
-      start.(v) <- latest_finish - node_time table a v;
+      start.(v) <- latest_finish - times.((v * k) + a.(v));
       if start.(v) < 0 then feasible := false)
-    (Dfg.Topo.post_order g);
+    (Dfg.Graph.post_arr g);
   if !feasible then Some start else None
+
+let frames g table a ~deadline =
+  match alap g table a ~deadline with
+  | None -> None
+  | Some late -> Some (asap g table a, late)
 
 let slack g table a ~deadline =
   let early = asap g table a in

@@ -14,6 +14,18 @@ val alap :
   deadline:int ->
   int array option
 
+(** [frames g table a ~deadline] is [Some (asap, alap)] — both computed in
+    one call — or [None] when the deadline is infeasible. Synthesis runs
+    compute this once and thread it through {!Lower_bound},
+    {!Min_resource} and {!Force_directed} via their [?frames] arguments,
+    instead of each scheduler recomputing the starts. *)
+val frames :
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  Assign.Assignment.t ->
+  deadline:int ->
+  (int array * int array) option
+
 (** [slack g table a ~deadline] is [alap - asap] per node. *)
 val slack :
   Dfg.Graph.t ->

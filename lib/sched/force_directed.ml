@@ -1,36 +1,38 @@
 (* Frames are recomputed from scratch after each fixing: [est]/[lst] are
    ASAP/ALAP starts honouring every already-fixed node. Graphs here are a
-   few dozen nodes, so clarity wins over incremental updates. *)
+   few dozen nodes, so clarity wins over incremental updates — but the
+   sweeps run over the cached topological/post order arrays and the flat
+   time table rather than re-allocating lists per pass. *)
 
-let frames g table a ~deadline ~fixed =
+let fixed_frames g table a ~deadline ~fixed =
   let n = Dfg.Graph.num_nodes g in
-  let time v = Fulib.Table.time table ~node:v ~ftype:a.(v) in
+  let k = Fulib.Table.num_types table in
+  let times = Fulib.Table.flat_times table in
+  let time v = times.((v * k) + a.(v)) in
   let est = Array.make n 0 and lst = Array.make n 0 in
   let ok = ref true in
-  List.iter
+  Array.iter
     (fun v ->
       let ready =
-        List.fold_left
-          (fun acc p -> max acc (est.(p) + time p))
-          0 (Dfg.Graph.dag_preds g v)
+        Dfg.Graph.fold_dag_preds g v ~init:0 ~f:(fun acc p ->
+            max acc (est.(p) + time p))
       in
       est.(v) <- (match fixed.(v) with
         | Some s -> if s < ready then (ok := false; ready) else s
         | None -> ready))
-    (Dfg.Topo.sort g);
-  List.iter
+    (Dfg.Graph.topo_arr g);
+  Array.iter
     (fun v ->
       let latest_finish =
-        List.fold_left
-          (fun acc s -> min acc lst.(s))
-          deadline (Dfg.Graph.dag_succs g v)
+        Dfg.Graph.fold_dag_succs g v ~init:deadline ~f:(fun acc s ->
+            min acc lst.(s))
       in
       let latest = latest_finish - time v in
       lst.(v) <- (match fixed.(v) with
         | Some s -> if s > latest then (ok := false; latest) else s
         | None -> latest);
       if lst.(v) < est.(v) then ok := false)
-    (Dfg.Topo.post_order g);
+    (Dfg.Graph.post_arr g);
   if !ok then Some (est, lst) else None
 
 (* Distribution graphs: dg.(t).(s) = expected number of type-t nodes busy
@@ -38,9 +40,10 @@ let frames g table a ~deadline ~fixed =
 let distribution g table a ~deadline (est, lst) =
   let n = Dfg.Graph.num_nodes g in
   let k = Fulib.Table.num_types table in
+  let times = Fulib.Table.flat_times table in
   let dg = Array.make_matrix k deadline 0.0 in
   for v = 0 to n - 1 do
-    let t = Fulib.Table.time table ~node:v ~ftype:a.(v) in
+    let t = times.((v * k) + a.(v)) in
     let width = lst.(v) - est.(v) + 1 in
     let p = 1.0 /. float_of_int width in
     for start = est.(v) to lst.(v) do
@@ -51,16 +54,16 @@ let distribution g table a ~deadline (est, lst) =
   done;
   dg
 
-let run g table a ~deadline =
+let run ?frames g table a ~deadline =
   let n = Dfg.Graph.num_nodes g in
-  match Lower_bound.per_type g table a ~deadline with
+  match Lower_bound.per_type ?frames g table a ~deadline with
   | None -> None
   | Some lower_bound ->
       let fixed = Array.make n None in
       let unscheduled = ref (List.init n (fun i -> i)) in
       let ok = ref true in
       while !unscheduled <> [] && !ok do
-        match frames g table a ~deadline ~fixed with
+        match fixed_frames g table a ~deadline ~fixed with
         | None -> ok := false
         | Some current ->
             let dg = distribution g table a ~deadline current in
@@ -72,7 +75,7 @@ let run g table a ~deadline =
                   (* force of fixing v at s = <dg, (new distribution -
                      old distribution)> over all types and steps *)
                   fixed.(v) <- Some s;
-                  (match frames g table a ~deadline ~fixed with
+                  (match fixed_frames g table a ~deadline ~fixed with
                   | None -> ()
                   | Some restricted ->
                       let dg' = distribution g table a ~deadline restricted in

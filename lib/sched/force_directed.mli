@@ -15,11 +15,13 @@
     node/step). [O(n^2 · deadline · (V + E))] — slower than
     {!Min_resource}'s list scheduling, usually flatter usage. *)
 
-(** [run g table a ~deadline] returns [None] exactly when the assignment's
-    makespan exceeds the deadline. The result's [lower_bound] field is the
-    same {!Lower_bound} configuration list scheduling starts from, for
-    comparison. *)
+(** [run ?frames g table a ~deadline] returns [None] exactly when the
+    assignment's makespan exceeds the deadline. The result's [lower_bound]
+    field is the same {!Lower_bound} configuration list scheduling starts
+    from, for comparison. [frames] supplies precomputed
+    {!Asap_alap.frames} for the initial bound. *)
 val run :
+  ?frames:int array * int array ->
   Dfg.Graph.t ->
   Fulib.Table.t ->
   Assign.Assignment.t ->

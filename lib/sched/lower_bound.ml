@@ -1,13 +1,18 @@
 let clamp x lo hi = max lo (min x hi)
 
-let per_type ?(pipelined = fun _ -> false) g table a ~deadline =
-  match Asap_alap.alap g table a ~deadline with
+let per_type ?(pipelined = fun _ -> false) ?frames g table a ~deadline =
+  let frames =
+    match frames with
+    | Some f -> Some f
+    | None -> Asap_alap.frames g table a ~deadline
+  in
+  match frames with
   | None -> None
-  | Some alap ->
-      let asap = Asap_alap.asap g table a in
+  | Some (asap, alap) ->
       let n = Dfg.Graph.num_nodes g in
       let k = Fulib.Table.num_types table in
-      let time v = Fulib.Table.time table ~node:v ~ftype:a.(v) in
+      let times = Fulib.Table.flat_times table in
+      let time v = times.((v * k) + a.(v)) in
       (* busy steps an operation forces onto an instance: the issue slot
          only, for pipelined types *)
       let busy v = if pipelined a.(v) then 1 else time v in

@@ -10,12 +10,15 @@
     paper's per-step node counts to multi-cycle operations and coincides
     with them when all times are 1. *)
 
-(** [per_type ?pipelined g table a ~deadline] returns the per-type lower
-    bounds. [None] when the assignment cannot meet the deadline at all.
-    A pipelined type (initiation interval 1) contributes one busy step per
-    operation — the issue slot — instead of its full duration. *)
+(** [per_type ?pipelined ?frames g table a ~deadline] returns the per-type
+    lower bounds. [None] when the assignment cannot meet the deadline at
+    all. A pipelined type (initiation interval 1) contributes one busy step
+    per operation — the issue slot — instead of its full duration.
+    [frames] supplies precomputed {!Asap_alap.frames} (computed internally
+    when absent). *)
 val per_type :
   ?pipelined:(int -> bool) ->
+  ?frames:int array * int array ->
   Dfg.Graph.t ->
   Fulib.Table.t ->
   Assign.Assignment.t ->

@@ -9,71 +9,73 @@ let naive_config table a =
   Array.iter (fun t -> counts.(t) <- counts.(t) + 1) a;
   counts
 
-let run ?(pipelined = fun _ -> false) g table a ~deadline =
-  match Lower_bound.per_type ~pipelined g table a ~deadline with
+let run ?(pipelined = fun _ -> false) ?frames g table a ~deadline =
+  let frames =
+    match frames with
+    | Some f -> Some f
+    | None -> Asap_alap.frames g table a ~deadline
+  in
+  match frames with
   | None -> None
-  | Some lower_bound ->
-      let n = Dfg.Graph.num_nodes g in
-      let k = Fulib.Table.num_types table in
-      let alap =
-        match Asap_alap.alap g table a ~deadline with
-        | Some x -> x
-        | None -> assert false (* Lower_bound already checked feasibility *)
-      in
-      let time v = Fulib.Table.time table ~node:v ~ftype:a.(v) in
-      let capacity = Array.copy lower_bound in
-      (* occupancy.(t).(s) = instances of type t busy during step s *)
-      let occupancy = Array.make_matrix k (max deadline 1) 0 in
-      let start = Array.make n (-1) in
-      let unscheduled_preds =
-        Array.init n (fun v -> Dfg.Graph.dag_in_degree g v)
-      in
-      let pred_finish = Array.make n 0 in
-      let last_busy v step =
-        if pipelined a.(v) then step else step + time v - 1
-      in
-      let free_for v step =
-        let t = a.(v) in
-        let rec go s =
-          s > last_busy v step
-          || (occupancy.(t).(s) < capacity.(t) && go (s + 1))
-        in
-        go step
-      in
-      let occupy v step =
-        let t = a.(v) in
-        start.(v) <- step;
-        for s = step to last_busy v step do
-          occupancy.(t).(s) <- occupancy.(t).(s) + 1;
-          if occupancy.(t).(s) > capacity.(t) then
-            capacity.(t) <- occupancy.(t).(s)
-        done;
-        List.iter
-          (fun w ->
-            unscheduled_preds.(w) <- unscheduled_preds.(w) - 1;
-            pred_finish.(w) <- max pred_finish.(w) (step + time v))
-          (Dfg.Graph.dag_succs g v)
-      in
-      let ready step v =
-        start.(v) < 0 && unscheduled_preds.(v) = 0 && pred_finish.(v) <= step
-      in
-      for step = 0 to deadline - 1 do
-        (* Deadline-critical nodes first: ALAP start = now, start whatever
-           the cost in new FU instances. *)
-        for v = 0 to n - 1 do
-          if ready step v && alap.(v) = step then occupy v step
-        done;
-        (* Fill remaining capacity with ready nodes, least slack first,
-           without growing the configuration. *)
-        let candidates =
-          List.filter (ready step)
-            (List.init n (fun i -> i))
-        in
-        let by_slack =
-          List.sort (fun v w -> compare (alap.(v), v) (alap.(w), w)) candidates
-        in
-        List.iter (fun v -> if free_for v step then occupy v step) by_slack
-      done;
-      let schedule = { Schedule.start; assignment = Array.copy a } in
-      let config = Schedule.peak_usage ~pipelined table schedule in
-      Some { schedule; config; lower_bound }
+  | Some ((_, alap) as frames) -> (
+      match Lower_bound.per_type ~pipelined ~frames g table a ~deadline with
+      | None -> None
+      | Some lower_bound ->
+          let n = Dfg.Graph.num_nodes g in
+          let k = Fulib.Table.num_types table in
+          let times = Fulib.Table.flat_times table in
+          let time v = times.((v * k) + a.(v)) in
+          let capacity = Array.copy lower_bound in
+          (* occupancy.(t).(s) = instances of type t busy during step s *)
+          let occupancy = Array.make_matrix k (max deadline 1) 0 in
+          let start = Array.make n (-1) in
+          let unscheduled_preds =
+            Array.init n (fun v -> Dfg.Graph.dag_in_degree g v)
+          in
+          let pred_finish = Array.make n 0 in
+          let last_busy v step =
+            if pipelined a.(v) then step else step + time v - 1
+          in
+          let free_for v step =
+            let t = a.(v) in
+            let rec go s =
+              s > last_busy v step
+              || (occupancy.(t).(s) < capacity.(t) && go (s + 1))
+            in
+            go step
+          in
+          let occupy v step =
+            let t = a.(v) in
+            start.(v) <- step;
+            for s = step to last_busy v step do
+              occupancy.(t).(s) <- occupancy.(t).(s) + 1;
+              if occupancy.(t).(s) > capacity.(t) then
+                capacity.(t) <- occupancy.(t).(s)
+            done;
+            Dfg.Graph.iter_dag_succs g v (fun w ->
+                unscheduled_preds.(w) <- unscheduled_preds.(w) - 1;
+                pred_finish.(w) <- max pred_finish.(w) (step + time v))
+          in
+          let ready step v =
+            start.(v) < 0 && unscheduled_preds.(v) = 0 && pred_finish.(v) <= step
+          in
+          for step = 0 to deadline - 1 do
+            (* Deadline-critical nodes first: ALAP start = now, start whatever
+               the cost in new FU instances. *)
+            for v = 0 to n - 1 do
+              if ready step v && alap.(v) = step then occupy v step
+            done;
+            (* Fill remaining capacity with ready nodes, least slack first,
+               without growing the configuration. *)
+            let candidates =
+              List.filter (ready step)
+                (List.init n (fun i -> i))
+            in
+            let by_slack =
+              List.sort (fun v w -> compare (alap.(v), v) (alap.(w), w)) candidates
+            in
+            List.iter (fun v -> if free_for v step then occupy v step) by_slack
+          done;
+          let schedule = { Schedule.start; assignment = Array.copy a } in
+          let config = Schedule.peak_usage ~pipelined table schedule in
+          Some { schedule; config; lower_bound })

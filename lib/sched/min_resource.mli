@@ -16,13 +16,17 @@ type result = {
   lower_bound : Config.t;  (** the initial {!Lower_bound} configuration *)
 }
 
-(** [run ?pipelined g table a ~deadline] returns [None] exactly when the
-    assignment's makespan exceeds the deadline. [pipelined ftype] marks FU
-    types with initiation interval 1: their instances are busy only during
-    an operation's issue step, so one instance can overlap many in-flight
-    operations; the {!Lower_bound} is computed under the same model. *)
+(** [run ?pipelined ?frames g table a ~deadline] returns [None] exactly
+    when the assignment's makespan exceeds the deadline. [pipelined ftype]
+    marks FU types with initiation interval 1: their instances are busy
+    only during an operation's issue step, so one instance can overlap many
+    in-flight operations; the {!Lower_bound} is computed under the same
+    model. [frames] supplies precomputed {!Asap_alap.frames} — a synthesis
+    run computes them once and threads them through both the bound and the
+    scheduler. *)
 val run :
   ?pipelined:(int -> bool) ->
+  ?frames:int array * int array ->
   Dfg.Graph.t ->
   Fulib.Table.t ->
   Assign.Assignment.t ->
