@@ -224,6 +224,63 @@ let kernel_tests =
           Staged.stage (fun () -> Sched.Asap_alap.frames g tbl a ~deadline));
     ]
 
+(* --- Parallel fan-out layer: sequential vs pooled --------------------- *)
+
+(* Each "-par" test has a "-seq" sibling running the identical computation
+   on a 1-domain pool (the exact sequential fallback); the JSON emitter
+   pairs them up into speedup_vs_seq. The "-par" side uses the global pool,
+   so HETSCHED_DOMAINS / --domains controls its width. *)
+let par_tests =
+  let seq_pool = lazy (Par.Pool.create ~domains:1 ()) in
+  let grid =
+    lazy
+      (let g = Workloads.Filters.elliptic () in
+       (g, "elliptic"))
+  in
+  let dag80 = lazy (scaling_dag_instance 80) in
+  let frontier_instance =
+    lazy
+      (let g = Workloads.Filters.diffeq () in
+       let tbl = table_for ~seed:29 g in
+       let tmin = Core.Synthesis.min_deadline g tbl in
+       (g, tbl, tmin + (tmin / 2)))
+  in
+  let run_grid pool =
+    let g, name = Lazy.force grid in
+    Core.Experiments.run_benchmark ~pool ~name
+      ~seed:(String.fold_left (fun acc c -> (acc * 31) + Char.code c) 17 name)
+      ~algorithms:Core.Synthesis.[ Greedy; Once; Repeat ]
+      g
+  in
+  let run_search pool =
+    let g, tbl, deadline = Lazy.force dag80 in
+    Assign.Dfg_assign.repeat_search ~pool g tbl ~deadline
+  in
+  let run_frontier pool =
+    let g, tbl, max_deadline = Lazy.force frontier_instance in
+    Core.Frontier.trace ~pool g tbl ~max_deadline
+  in
+  let run_batch pool =
+    let rng = Workloads.Prng.create 424242 in
+    Workloads.Random_dfg.batch_dags ~pool rng ~count:16 ~n:100 ~extra_edges:20
+  in
+  let pair name f =
+    [
+      Test.make ~name:(name ^ "-seq")
+        (Staged.stage (fun () -> f (Lazy.force seq_pool)));
+      Test.make ~name:(name ^ "-par")
+        (Staged.stage (fun () -> f (Par.Pool.global ())));
+    ]
+  in
+  Test.make_grouped ~name:"par"
+    (List.concat
+       [
+         pair "grid" run_grid;
+         pair "repeat-search" run_search;
+         pair "frontier" run_frontier;
+         pair "batch-dfg" run_batch;
+       ])
+
 (* --- Runner ----------------------------------------------------------- *)
 
 let run_benchmarks ~quick tests =
@@ -257,7 +314,61 @@ let run_benchmarks ~quick tests =
         | None -> "-"
       in
       Printf.printf "%-52s %14s %8s\n" name time_str r2)
+    rows;
+  List.map
+    (fun (name, o) ->
+      let estimate =
+        match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan
+      in
+      (name, estimate))
     rows
+
+(* --- Machine-readable results ----------------------------------------- *)
+
+(* A row's [n] is the trailing ":<int>" Bechamel gives indexed tests (0
+   otherwise). A "...-par" row's [speedup_vs_seq] is its "-seq" sibling's
+   estimate over its own; everything else reports 1.0. *)
+let split_indexed name =
+  match String.rindex_opt name ':' with
+  | None -> (name, 0)
+  | Some i -> (
+      let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+      match int_of_string_opt suffix with
+      | Some n -> (String.sub name 0 i, n)
+      | None -> (name, 0))
+
+let speedup_vs_seq rows name estimate =
+  let base, n = split_indexed name in
+  if String.length base > 4 && String.ends_with ~suffix:"-par" base then begin
+    let sibling =
+      String.sub base 0 (String.length base - 4)
+      ^ "-seq"
+      ^ if n = 0 then "" else Printf.sprintf ":%d" n
+    in
+    match List.assoc_opt sibling rows with
+    | Some seq when estimate > 0.0 && Float.is_finite seq -> seq /. estimate
+    | _ -> 1.0
+  end
+  else 1.0
+
+let write_json path rows =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i (name, estimate) ->
+      let _, n = split_indexed name in
+      let wall_ns = if Float.is_finite estimate then estimate else 0.0 in
+      Printf.fprintf oc
+        "  {\"name\": \"%s\", \"n\": %d, \"wall_ns\": %.1f, \
+         \"speedup_vs_seq\": %.3f}%s\n"
+        (String.concat "\\\"" (String.split_on_char '"' name))
+        n wall_ns
+        (speedup_vs_seq rows name estimate)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "]\n";
+  close_out oc;
+  Printf.printf "wrote %d benchmark rows to %s\n" (List.length rows) path
 
 let all_groups =
   [
@@ -269,16 +380,36 @@ let all_groups =
     ("extensions", extension_tests);
     ("scaling", scaling_tests);
     ("kernel", kernel_tests);
+    ("par", par_tests);
   ]
 
-(* CLI: [bench/main.exe [GROUP ...] [--quick]]. Group names select a subset
-   of the Bechamel groups and skip the reproduction output; [--quick] runs
-   one iteration per test (the CI smoke configuration). No arguments =
-   full reproduction + all timing groups. *)
+(* CLI: [bench/main.exe [GROUP ...] [--quick] [--json FILE] [--domains N]].
+   Group names select a subset of the Bechamel groups and skip the
+   reproduction output; [--quick] runs one iteration per test (the CI smoke
+   configuration); [--json FILE] additionally writes the rows as
+   machine-readable JSON; [--domains N] sets the global pool's width (same
+   as HETSCHED_DOMAINS=N). No arguments = full reproduction + all timing
+   groups. *)
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let quick = List.mem "--quick" args in
-  let wanted = List.filter (fun a -> a <> "--quick") args in
+  let usage_exit msg =
+    Printf.eprintf "%s\n" msg;
+    exit 2
+  in
+  let rec parse (groups, quick, json, domains) = function
+    | [] -> (List.rev groups, quick, json, domains)
+    | "--quick" :: rest -> parse (groups, true, json, domains) rest
+    | "--json" :: path :: rest -> parse (groups, quick, Some path, domains) rest
+    | [ "--json" ] -> usage_exit "--json needs a file argument"
+    | "--domains" :: d :: rest -> (
+        match int_of_string_opt d with
+        | Some d when d >= 1 -> parse (groups, quick, json, Some d) rest
+        | _ -> usage_exit "--domains needs a positive integer")
+    | [ "--domains" ] -> usage_exit "--domains needs a positive integer"
+    | g :: rest -> parse (g :: groups, quick, json, domains) rest
+  in
+  let wanted, quick, json, domains = parse ([], false, None, None) args in
+  (match domains with Some d -> Par.Pool.set_global_domains d | None -> ());
   let groups =
     match wanted with
     | [] -> List.map snd all_groups
@@ -314,4 +445,5 @@ let () =
   end;
   (* Part 2: Bechamel timings, one Test per table/figure. *)
   print_endline "=== Timings (Bechamel, OLS estimate per run) ===";
-  run_benchmarks ~quick (Test.make_grouped ~name:"hetsched" groups)
+  let rows = run_benchmarks ~quick (Test.make_grouped ~name:"hetsched" groups) in
+  match json with Some path -> write_json path rows | None -> ()

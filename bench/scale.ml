@@ -1,0 +1,39 @@
+(* Domain-scaling driver for EXPERIMENTS.md: wall-clock of the parallel
+   surfaces on an n-task random-DAG instance at 1/2/4/8 domains.
+
+   Usage: scale.exe [N [REPS]]   (defaults: N=200, REPS=3; best-of-REPS) *)
+
+let algorithms = Core.Synthesis.[ Greedy; Once; Repeat ]
+
+let time_best reps f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    f ();
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  !best
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200 in
+  let reps = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 3 in
+  let rng = Workloads.Prng.create 42 in
+  let g = Workloads.Random_dfg.random_dag rng ~n ~extra_edges:(n / 2) in
+  Printf.printf
+    "scaling on a %d-task random DAG (best of %d runs, host has %d core(s))\n"
+    n reps
+    (Par.Pool.domains_from_env ~getenv:(fun _ -> None) ());
+  let base = ref nan in
+  List.iter
+    (fun domains ->
+      Par.Pool.with_pool ~domains (fun pool ->
+          let grid =
+            time_best reps (fun () ->
+                ignore
+                  (Core.Experiments.run_benchmark ~pool ~name:"scale" ~seed:42
+                     ~algorithms g))
+          in
+          if domains = 1 then base := grid;
+          Printf.printf "  domains=%d  grid %.3f s  (speedup %.2fx)\n%!" domains
+            grid (!base /. grid)))
+    [ 1; 2; 4; 8 ]

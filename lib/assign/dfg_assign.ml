@@ -140,6 +140,112 @@ let repeat_with_order ?max_nodes ~order g table ~deadline =
 let repeat ?max_nodes g table ~deadline =
   repeat_with_order ?max_nodes ~order:`By_copies g table ~deadline
 
+(* --- Candidate-search Repeat ---------------------------------------- *)
+
+(* Collapse flat [node * k + ftype] rows to the pinned type, the flat-array
+   mirror of [Fulib.Table.pin]. *)
+let pin_flat ~times ~costs ~k ~node ~ftype =
+  let t = times.((node * k) + ftype) and c = costs.((node * k) + ftype) in
+  Array.fill times (node * k) k t;
+  Array.fill costs (node * k) k c
+
+(* [DFG_Assign_Repeat] with a per-round candidate search: instead of fixing
+   the duplicated nodes in a static order, each round re-solves the tree
+   once per remaining duplicated node (that node pinned to its min-time
+   choice under the current solve) and commits the candidate whose re-solve
+   is cheapest — ties broken toward the lower node id. The candidate
+   re-solves of a round are independent full DPs over private table copies,
+   so they fan out over [pool]'s domains; the winner is picked from the
+   order-preserved score array, which makes the parallel path bit-identical
+   to the sequential one. *)
+let repeat_search ?pool ?max_nodes g table ~deadline =
+  if deadline < 0 then None
+  else begin
+    let n = Dfg.Graph.num_nodes g in
+    if n = 0 then Some [||]
+    else begin
+      let pool =
+        match pool with Some p -> p | None -> Par.Pool.global ()
+      in
+      let _, tree = choose_tree ?max_nodes g in
+      Dfg.Graph.preheat tree.Dfg.Expand.graph;
+      Fulib.Table.preheat table;
+      let k = Fulib.Table.num_types table in
+      (* master flat tables for the tree, pinned as winners are committed *)
+      let times, costs = project_flat table tree.Dfg.Expand.origin in
+      let solve_copy () =
+        Tree_kernel.solve
+          (Tree_kernel.create tree.Dfg.Expand.graph ~times:(Array.copy times)
+             ~costs:(Array.copy costs) ~k ~deadline)
+      in
+      let a = Array.make n (-1) in
+      let exception Infeasible in
+      try
+        let remaining =
+          ref (List.sort compare (Dfg.Expand.duplicated_nodes tree))
+        in
+        while !remaining <> [] do
+          match solve_copy () with
+          | None -> raise Infeasible
+          | Some (ta, _) ->
+              let cands = Array.of_list !remaining in
+              let choice =
+                Array.map
+                  (fun v ->
+                    min_time_choice table ta tree.Dfg.Expand.copies.(v) v)
+                  cands
+              in
+              let scores =
+                Par.Pool.map_array pool
+                  (fun idx ->
+                    let v = cands.(idx) and t = choice.(idx) in
+                    let ct = Array.copy times and cc = Array.copy costs in
+                    List.iter
+                      (fun copy ->
+                        pin_flat ~times:ct ~costs:cc ~k ~node:copy ~ftype:t)
+                      tree.Dfg.Expand.copies.(v);
+                    match
+                      Tree_kernel.solve
+                        (Tree_kernel.create tree.Dfg.Expand.graph ~times:ct
+                           ~costs:cc ~k ~deadline)
+                    with
+                    | None -> None
+                    | Some (_, cost) -> Some cost)
+                  (Array.init (Array.length cands) Fun.id)
+              in
+              let best = ref (-1) in
+              Array.iteri
+                (fun i s ->
+                  match (s, !best) with
+                  | None, _ -> ()
+                  | Some _, -1 -> best := i
+                  | Some c, b -> (
+                      match scores.(b) with
+                      | Some cb when cb <= c -> ()
+                      | _ -> best := i))
+                scores;
+              if !best < 0 then raise Infeasible;
+              let v = cands.(!best) and t = choice.(!best) in
+              a.(v) <- t;
+              List.iter
+                (fun copy -> pin_flat ~times ~costs ~k ~node:copy ~ftype:t)
+                tree.Dfg.Expand.copies.(v);
+              remaining := List.filter (fun u -> u <> v) !remaining
+        done;
+        match solve_copy () with
+        | None -> raise Infeasible
+        | Some (ta, _) ->
+            for v = 0 to n - 1 do
+              if a.(v) < 0 then
+                match tree.Dfg.Expand.copies.(v) with
+                | [ c ] -> a.(v) <- ta.(c)
+                | copies -> a.(v) <- min_time_choice table ta copies v
+            done;
+            Some a
+      with Infeasible -> None
+    end
+  end
+
 (* The original full-re-solve Repeat (a fresh list-based DP over a freshly
    pinned table per duplicated node), kept as the differential-testing and
    benchmarking baseline for the incremental version. *)

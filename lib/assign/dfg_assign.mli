@@ -40,6 +40,22 @@ val repeat :
   deadline:int ->
   Assignment.t option
 
+(** [Repeat] with a per-round candidate search: each round re-solves the
+    tree once per remaining duplicated node (pinned to its min-time choice
+    under the current solve) and commits the cheapest re-solve, ties toward
+    the lower node id. The round's candidate re-solves are independent and
+    evaluated on [pool] (default {!Par.Pool.global}); results are
+    bit-identical for any domain count, including the [domains = 1]
+    sequential fallback. Strictly more search than {!repeat} at an
+    O(d) per-round DP cost for [d] duplicated nodes. *)
+val repeat_search :
+  ?pool:Par.Pool.t ->
+  ?max_nodes:int ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  deadline:int ->
+  Assignment.t option
+
 (** The original full-re-solve [Repeat] (fresh list-based DP over a freshly
     pinned table per duplicated node), kept for differential testing and as
     the benchmark baseline. *)

@@ -22,34 +22,58 @@ let benchmark_table ~seed g =
   let rng = Workloads.Prng.create seed in
   Workloads.Tables.for_graph rng ~library:Fulib.Library.standard3 g
 
-let run_benchmark ~name ~seed ~algorithms g =
+let run_benchmark ?pool ~name ~seed ~algorithms g =
+  if algorithms = [] then
+    invalid_arg "Experiments.run_benchmark: empty algorithm list";
+  if not (List.mem Synthesis.Greedy algorithms) then
+    invalid_arg
+      "Experiments.run_benchmark: algorithms must include Greedy, the \
+       baseline average_reduction is computed against";
+  let pool = match pool with Some p -> p | None -> Par.Pool.global () in
   let table = benchmark_table ~seed g in
+  (* the graph and table are shared read-only across domains below *)
+  Dfg.Graph.preheat g;
+  Fulib.Table.preheat table;
   let _, tree = Assign.Dfg_assign.choose_tree g in
   let duplicated = List.length (Dfg.Expand.duplicated_nodes tree) in
+  (* Every (deadline, algorithm) cell is an independent solve; fan the grid
+     out over the pool and reassemble the rows by index, then compute each
+     row's Min_FU configuration (one more solve per row) the same way. *)
+  let ds = Array.of_list (deadlines g table) in
+  let algos = Array.of_list algorithms in
+  let na = Array.length algos in
+  let cells =
+    Array.init
+      (Array.length ds * na)
+      (fun i -> (ds.(i / na), algos.(i mod na)))
+  in
+  let cell_costs =
+    Par.Pool.map_array pool
+      (fun (deadline, algo) ->
+        Option.map
+          (Assign.Assignment.total_cost table)
+          (Synthesis.assign algo g table ~deadline))
+      cells
+  in
+  let row_costs =
+    Array.init (Array.length ds) (fun di ->
+        List.mapi (fun ai algo -> (algo, cell_costs.((di * na) + ai))) algorithms)
+  in
+  let configs =
+    Par.Pool.map_array pool
+      (fun di ->
+        let deadline = ds.(di) in
+        match List.rev row_costs.(di) with
+        | (last_algo, Some _) :: _ -> (
+            match Synthesis.run last_algo g table ~deadline with
+            | Some r -> Some r.Synthesis.config
+            | None -> None)
+        | _ -> None)
+      (Array.init (Array.length ds) Fun.id)
+  in
   let rows =
-    List.map
-      (fun deadline ->
-        let costs =
-          List.map
-            (fun algo ->
-              let cost =
-                Option.map
-                  (Assign.Assignment.total_cost table)
-                  (Synthesis.assign algo g table ~deadline)
-              in
-              (algo, cost))
-            algorithms
-        in
-        let config =
-          match List.rev costs with
-          | (last_algo, Some _) :: _ -> (
-              match Synthesis.run last_algo g table ~deadline with
-              | Some r -> Some r.Synthesis.config
-              | None -> None)
-          | _ -> None
-        in
-        { deadline; costs; config })
-      (deadlines g table)
+    List.init (Array.length ds) (fun di ->
+        { deadline = ds.(di); costs = row_costs.(di); config = configs.(di) })
   in
   let average_reduction =
     let reductions algo =

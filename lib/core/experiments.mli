@@ -29,9 +29,14 @@ type benchmark_report = {
     feasible deadline, then five relaxations up to 1.75x. *)
 val deadlines : Dfg.Graph.t -> Fulib.Table.t -> int list
 
-(** Run a benchmark with the given algorithms (greedy must be included to
-    compute reductions). [seed] feeds the time/cost table generator. *)
+(** Run a benchmark with the given algorithms. [seed] feeds the time/cost
+    table generator. The (deadline x algorithm) grid cells are independent
+    solves and are evaluated on [pool] (default {!Par.Pool.global}); the
+    report is bit-identical for any domain count. Raises [Invalid_argument]
+    when [algorithms] is empty or omits {!Synthesis.Greedy} — the baseline
+    [average_reduction] is computed against. *)
 val run_benchmark :
+  ?pool:Par.Pool.t ->
   name:string ->
   seed:int ->
   algorithms:Synthesis.algorithm list ->

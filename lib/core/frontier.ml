@@ -4,21 +4,41 @@ type point = {
   config : Sched.Config.t;
 }
 
-let trace ?(algorithm = Synthesis.Repeat) g table ~max_deadline =
+let trace ?pool ?(algorithm = Synthesis.Repeat) g table ~max_deadline =
   let tmin = Synthesis.min_deadline g table in
-  let rec sweep deadline best acc =
-    if deadline > max_deadline then List.rev acc
-    else
-      match Synthesis.run algorithm g table ~deadline with
-      | None -> sweep (deadline + 1) best acc
-      | Some r ->
-          if r.Synthesis.cost < best then
-            sweep (deadline + 1) r.Synthesis.cost
-              ({ deadline; cost = r.Synthesis.cost; config = r.Synthesis.config }
-              :: acc)
-          else sweep (deadline + 1) best acc
-  in
-  sweep tmin max_int []
+  if max_deadline < tmin then []
+  else begin
+    let pool = match pool with Some p -> p | None -> Par.Pool.global () in
+    Dfg.Graph.preheat g;
+    Fulib.Table.preheat table;
+    (* Every deadline's solve is independent; only the staircase filter is
+       sequential, and it runs over the order-preserved result array, so
+       the sweep is bit-identical for any domain count. *)
+    let ds = Array.init (max_deadline - tmin + 1) (fun i -> tmin + i) in
+    let solved =
+      Par.Pool.map_array pool
+        (fun deadline -> Synthesis.run algorithm g table ~deadline)
+        ds
+    in
+    let best = ref max_int and acc = ref [] in
+    Array.iteri
+      (fun i r ->
+        match r with
+        | None -> ()
+        | Some r ->
+            if r.Synthesis.cost < !best then begin
+              best := r.Synthesis.cost;
+              acc :=
+                {
+                  deadline = ds.(i);
+                  cost = r.Synthesis.cost;
+                  config = r.Synthesis.config;
+                }
+                :: !acc
+            end)
+      solved;
+    List.rev !acc
+  end
 
 let to_string points =
   Report.render ~title:"cost/deadline frontier"

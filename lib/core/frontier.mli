@@ -18,8 +18,13 @@ type point = {
     points in increasing deadline / decreasing cost order. Empty when even
     [max_deadline] is infeasible. For optimal algorithms the cost staircase
     is guaranteed monotone; heuristic wobbles are smoothed (a point enters
-    only when it improves on every earlier cost). *)
+    only when it improves on every earlier cost).
+
+    The per-deadline solves are independent and evaluated on [pool]
+    (default {!Par.Pool.global}); the returned staircase is bit-identical
+    for any domain count. *)
 val trace :
+  ?pool:Par.Pool.t ->
   ?algorithm:Synthesis.algorithm ->
   Dfg.Graph.t ->
   Fulib.Table.t ->

@@ -1,4 +1,13 @@
-type algorithm = Greedy | Greedy_iterative | Tree | Once | Repeat | Repeat_refined | Beam | Exact
+type algorithm =
+  | Greedy
+  | Greedy_iterative
+  | Tree
+  | Once
+  | Repeat
+  | Repeat_search
+  | Repeat_refined
+  | Beam
+  | Exact
 
 let algorithm_name = function
   | Greedy -> "Greedy"
@@ -6,11 +15,13 @@ let algorithm_name = function
   | Tree -> "Tree_Assign"
   | Once -> "DFG_Assign_Once"
   | Repeat -> "DFG_Assign_Repeat"
+  | Repeat_search -> "Repeat_Search"
   | Repeat_refined -> "Repeat_Refined"
   | Beam -> "Beam"
   | Exact -> "Exact"
 
-let all_algorithms = [ Greedy; Greedy_iterative; Tree; Once; Repeat; Repeat_refined; Beam; Exact ]
+let all_algorithms =
+  [ Greedy; Greedy_iterative; Tree; Once; Repeat; Repeat_search; Repeat_refined; Beam; Exact ]
 
 let assign algorithm g table ~deadline =
   match algorithm with
@@ -19,6 +30,7 @@ let assign algorithm g table ~deadline =
   | Tree -> Option.map fst (Assign.Tree_assign.solve_auto g table ~deadline)
   | Once -> Assign.Dfg_assign.once g table ~deadline
   | Repeat -> Assign.Dfg_assign.repeat g table ~deadline
+  | Repeat_search -> Assign.Dfg_assign.repeat_search g table ~deadline
   | Repeat_refined -> Assign.Local_search.repeat_plus g table ~deadline ~seed:1
   | Beam -> Option.map fst (Assign.Beam.solve g table ~deadline)
   | Exact -> Option.map fst (Assign.Exact.solve g table ~deadline)

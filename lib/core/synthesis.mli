@@ -8,6 +8,10 @@ type algorithm =
   | Tree  (** [Tree_Assign]; requires a forest in either orientation *)
   | Once  (** [DFG_Assign_Once] *)
   | Repeat  (** [DFG_Assign_Repeat] — the paper's recommendation *)
+  | Repeat_search
+      (** extension: [Repeat] with a per-round parallel candidate search
+          over the remaining duplicated nodes
+          ([Assign.Dfg_assign.repeat_search]) *)
   | Repeat_refined
       (** extension: [DFG_Assign_Repeat] followed by simulated-annealing
           refinement ([Assign.Local_search], fixed seed) *)

@@ -199,6 +199,10 @@ let post_arr g =
       g.csr.post <- Some o;
       o
 
+let preheat g =
+  ignore (topo_arr g);
+  ignore (post_arr g)
+
 let iter_dag_succs g v f =
   let c = g.csr in
   for i = c.succ_off.(v) to c.succ_off.(v + 1) - 1 do

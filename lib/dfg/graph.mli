@@ -79,6 +79,11 @@ val topo_arr : t -> int array
 
 val post_arr : t -> int array
 
+(** Force the lazily memoized orders ({!topo_arr}, {!post_arr}) so the
+    graph becomes a read-only value that is safe to share across domains
+    (see [Par.Pool]). Idempotent and cheap when already cached. *)
+val preheat : t -> unit
+
 (** Allocation-free iteration over zero-delay neighbours, in adjacency
     order. *)
 val iter_dag_succs : t -> int -> (int -> unit) -> unit

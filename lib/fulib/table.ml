@@ -84,6 +84,7 @@ let flat t =
       t.flat <- Some f;
       f
 
+let preheat t = ignore (flat t)
 let flat_times t = (flat t).ftimes
 let flat_costs t = (flat t).fcosts
 let min_times_arr t = (flat t).fmin_times

@@ -36,6 +36,11 @@ val min_cost_type : t -> int -> int
     These are what the DP kernels iterate over — one bounds-checked load per
     cell instead of two, and no per-call closure allocation. *)
 
+(** Force the lazily cached flat view so the table becomes a read-only
+    value that is safe to share across domains (see [Par.Pool]).
+    Idempotent and cheap when already cached. *)
+val preheat : t -> unit
+
 val flat_times : t -> int array
 val flat_costs : t -> int array
 

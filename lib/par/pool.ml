@@ -1,0 +1,247 @@
+(* One batch runs at a time; workers and the submitter pull task indices
+   from a shared atomic counter, so the work-stealing order is free but the
+   result placement (by index) is not. *)
+
+exception Nested_pool
+
+type batch = {
+  run : int -> unit;  (* must not raise: combinators capture per index *)
+  count : int;
+  next : int Atomic.t;
+  unfinished : int Atomic.t;
+}
+
+type t = {
+  size : int;
+  m : Mutex.t;
+  work : Condition.t;  (* new batch published, or shutdown *)
+  idle : Condition.t;  (* batch drained / submission slot freed *)
+  mutable batch : batch option;
+  mutable epoch : int;  (* bumped per published batch *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let in_task_key = Domain.DLS.new_key (fun () -> false)
+let in_task () = Domain.DLS.get in_task_key
+
+let exec_tasks t b =
+  let rec loop () =
+    let i = Atomic.fetch_and_add b.next 1 in
+    if i < b.count then begin
+      b.run i;
+      if Atomic.fetch_and_add b.unfinished (-1) = 1 then begin
+        (* last task of the batch: wake the submitter *)
+        Mutex.lock t.m;
+        Condition.broadcast t.idle;
+        Mutex.unlock t.m
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let rec worker_loop t seen =
+  Mutex.lock t.m;
+  while (not t.stop) && t.epoch = seen do
+    Condition.wait t.work t.m
+  done;
+  let stop = t.stop and epoch = t.epoch and b = t.batch in
+  Mutex.unlock t.m;
+  if not stop then begin
+    (match b with Some b -> exec_tasks t b | None -> ());
+    worker_loop t epoch
+  end
+
+let max_domains = 128
+
+let domains_from_env ?(getenv = Sys.getenv_opt) () =
+  match getenv "HETSCHED_DOMAINS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some d -> max 1 (min d max_domains)
+      | None -> Domain.recommended_domain_count ())
+
+let create ?domains () =
+  if in_task () then raise Nested_pool;
+  let size =
+    match domains with
+    | Some d when d < 1 -> invalid_arg "Par.Pool.create: domains < 1"
+    | Some d -> min d max_domains
+    | None -> domains_from_env ()
+  in
+  let t =
+    {
+      size;
+      m = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      batch = None;
+      epoch = 0;
+      stop = false;
+      workers = [||];
+    }
+  in
+  if size > 1 then
+    t.workers <-
+      Array.init (size - 1) (fun _ ->
+          Domain.spawn (fun () ->
+              (* a worker domain only ever runs pool tasks *)
+              Domain.DLS.set in_task_key true;
+              worker_loop t 0));
+  t
+
+let domain_count t = t.size
+let is_sequential t = t.size = 1
+
+let shutdown t =
+  if in_task () then raise Nested_pool;
+  Mutex.lock t.m;
+  let already = t.stop in
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Condition.broadcast t.idle;
+  Mutex.unlock t.m;
+  if not already then Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* --- The process-wide pool ------------------------------------------- *)
+
+let sequential =
+  {
+    size = 1;
+    m = Mutex.create ();
+    work = Condition.create ();
+    idle = Condition.create ();
+    batch = None;
+    epoch = 0;
+    stop = false;
+    workers = [||];
+  }
+
+let global_m = Mutex.create ()
+let global_pool = ref None
+
+let global () =
+  if in_task () then sequential
+  else begin
+    Mutex.lock global_m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock global_m)
+      (fun () ->
+        match !global_pool with
+        | Some p -> p
+        | None ->
+            let p = create () in
+            global_pool := Some p;
+            p)
+  end
+
+let set_global_domains d =
+  if in_task () then raise Nested_pool;
+  let p = create ~domains:d () in
+  Mutex.lock global_m;
+  let old = !global_pool in
+  global_pool := Some p;
+  Mutex.unlock global_m;
+  match old with Some o -> shutdown o | None -> ()
+
+(* --- Batch submission -------------------------------------------------- *)
+
+(* [run] must not raise. *)
+let run_batch t ~count ~run =
+  if count > 0 then begin
+    if t.size = 1 || in_task () then
+      for i = 0 to count - 1 do
+        run i
+      done
+    else begin
+      Mutex.lock t.m;
+      while (not t.stop) && t.batch <> None do
+        Condition.wait t.idle t.m
+      done;
+      if t.stop then begin
+        Mutex.unlock t.m;
+        invalid_arg "Par.Pool: pool used after shutdown"
+      end;
+      let b =
+        { run; count; next = Atomic.make 0; unfinished = Atomic.make count }
+      in
+      t.batch <- Some b;
+      t.epoch <- t.epoch + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.m;
+      (* participate: the submitter is one of the pool's domains *)
+      Domain.DLS.set in_task_key true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set in_task_key false)
+        (fun () -> exec_tasks t b);
+      Mutex.lock t.m;
+      while Atomic.get b.unfinished > 0 do
+        Condition.wait t.idle t.m
+      done;
+      t.batch <- None;
+      Condition.broadcast t.idle;
+      Mutex.unlock t.m
+    end
+  end
+
+let reraise_first errors =
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    errors
+
+(* --- Combinators ------------------------------------------------------- *)
+
+let map_array t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    run_batch t ~count:n ~run:(fun i ->
+        match f arr.(i) with
+        | v -> results.(i) <- Some v
+        | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+    reraise_first errors;
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let map_list t f l = Array.to_list (map_array t f (Array.of_list l))
+let fanout t thunks = map_list t (fun f -> f ()) thunks
+
+let fanout2 t fa fb =
+  match fanout t [ (fun () -> `A (fa ())); (fun () -> `B (fb ())) ] with
+  | [ `A a; `B b ] -> (a, b)
+  | _ -> assert false
+
+let parallel_for t ?chunk ~lo ~hi body =
+  let len = hi - lo in
+  if len > 0 then begin
+    let chunk =
+      match chunk with
+      | Some c when c < 1 -> invalid_arg "Par.Pool.parallel_for: chunk < 1"
+      | Some c -> c
+      | None -> max 1 (len / (t.size * 4))
+    in
+    let nchunks = (len + chunk - 1) / chunk in
+    let errors = Array.make nchunks None in
+    run_batch t ~count:nchunks ~run:(fun ci ->
+        let start = lo + (ci * chunk) in
+        let stop = min hi (start + chunk) in
+        match
+          for i = start to stop - 1 do
+            body i
+          done
+        with
+        | () -> ()
+        | exception e -> errors.(ci) <- Some (e, Printexc.get_raw_backtrace ()));
+    reraise_first errors
+  end

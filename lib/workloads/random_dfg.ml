@@ -63,6 +63,24 @@ let random_dag rng ~n ~extra_edges =
   done;
   B.finish b
 
+(* The parent rng is split once per graph on the calling domain (split
+   advances the parent, so the streams are a pure function of the parent's
+   state and the index); only the generation itself fans out. *)
+let batch ?pool rng ~count gen =
+  if count < 0 then invalid_arg "Random_dfg.batch: count < 0";
+  let pool = match pool with Some p -> p | None -> Par.Pool.global () in
+  if count = 0 then [||]
+  else begin
+    let streams = Array.make count rng in
+    for i = 0 to count - 1 do
+      streams.(i) <- Prng.split rng
+    done;
+    Par.Pool.map_array pool gen streams
+  end
+
+let batch_dags ?pool rng ~count ~n ~extra_edges =
+  batch ?pool rng ~count (fun stream -> random_dag stream ~n ~extra_edges)
+
 let random_layered rng ~layers ~width ~edge_prob =
   if layers < 1 || width < 1 then
     invalid_arg "Random_dfg.random_layered: empty shape";

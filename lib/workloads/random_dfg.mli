@@ -13,6 +13,29 @@ val random_tree : Prng.t -> n:int -> max_children:int -> Dfg.Graph.t
     create the reconvergent fan-out that makes expansion non-trivial. *)
 val random_dag : Prng.t -> n:int -> extra_edges:int -> Dfg.Graph.t
 
+(** [batch ?pool rng ~count gen] generates [count] graphs, each from its
+    own PRNG stream split off [rng] by index on the calling domain, with
+    the generation fanned out over [pool] (default [Par.Pool.global ()]).
+    Bit-identical to the sequential
+    [Array.init count (fun _ -> gen (Prng.split rng))] for any domain
+    count. [rng] advances by [count] splits. *)
+val batch :
+  ?pool:Par.Pool.t ->
+  Prng.t ->
+  count:int ->
+  (Prng.t -> Dfg.Graph.t) ->
+  Dfg.Graph.t array
+
+(** [batch_dags ?pool rng ~count ~n ~extra_edges] — {!batch} over
+    {!random_dag} instances of one shape. *)
+val batch_dags :
+  ?pool:Par.Pool.t ->
+  Prng.t ->
+  count:int ->
+  n:int ->
+  extra_edges:int ->
+  Dfg.Graph.t array
+
 (** [random_layered rng ~layers ~width ~edge_prob] — a layered DAG in which
     each node links to each node of the next layer with probability
     [edge_prob] (at least one outgoing edge per non-final-layer node). *)
