@@ -36,6 +36,29 @@ let run_extensions () =
   print_newline ();
   print_endline (Core.Experiments.extension_rotation ())
 
+(* CI smoke: rebuild full benchmark reports with the lib/check oracles
+   forced on — every grid cell and every per-row configuration solve is
+   audited; any corrupt solver output aborts with Check.Violation.Failed. *)
+let run_validate () =
+  Check.Env.set_override (Some true);
+  let trees = Workloads.Filters.trees () in
+  List.iter
+    (fun (name, g) ->
+      let algorithms =
+        if List.mem_assoc name trees then Core.Experiments.table1_algorithms
+        else Core.Experiments.table2_algorithms
+      in
+      let report =
+        Core.Experiments.run_benchmark ~name
+          ~seed:(Core.Experiments.seed_of_name name)
+          ~algorithms g
+      in
+      Printf.printf "%-20s %2d nodes: %d rows validated clean\n%!" name
+        report.Core.Experiments.nodes
+        (List.length report.Core.Experiments.rows))
+    (Workloads.Filters.all ());
+  print_endline "all benchmark reports validated"
+
 let run_all () =
   run_motivational ();
   print_newline ();
@@ -63,6 +86,9 @@ let () =
       cmd_of "table2" "Table 2: general DFG benchmarks" run_table2;
       cmd_of "ablation" "Design-choice ablations" run_ablation;
       cmd_of "extensions" "Extension studies (refinement, schedulers)" run_extensions;
+      cmd_of "validate"
+        "Re-run the paper benchmarks with the lib/check oracles forced on"
+        run_validate;
       cmd_of "all" "Everything" run_all;
     ]
   in

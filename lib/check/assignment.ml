@@ -1,0 +1,61 @@
+let render_path names path =
+  let shown = 8 in
+  let n = List.length path in
+  let head = List.filteri (fun i _ -> i < shown) path in
+  String.concat "->" (List.map (fun v -> names.(v)) head)
+  ^ if n > shown then Printf.sprintf "->...(%d nodes)" n else ""
+
+let check ?expect_cost ?(max_paths = 20_000) g table a ~deadline =
+  let b = Violation.builder () in
+  let n = Dfg.Graph.num_nodes g in
+  let k = Fulib.Table.num_types table in
+  if Array.length a <> n then
+    Violation.add b "length-mismatch" "assignment has %d entries for %d nodes"
+      (Array.length a) n
+  else if Fulib.Table.num_nodes table <> n then
+    Violation.add b "table-mismatch" "table covers %d nodes, graph has %d"
+      (Fulib.Table.num_nodes table) n
+  else begin
+    Array.iteri
+      (fun v t ->
+        Violation.fact b;
+        if t < 0 || t >= k then
+          Violation.add b ~node:v "type-out-of-range"
+            "assigned type %d outside the %d-type library" t k)
+      a;
+    if Array.for_all (fun t -> t >= 0 && t < k) a then begin
+      let time v = Fulib.Table.time table ~node:v ~ftype:a.(v) in
+      if Dfg.Paths.count_critical_paths g <= max_paths then
+        List.iter
+          (fun path ->
+            Violation.fact b;
+            let len = List.fold_left (fun acc v -> acc + time v) 0 path in
+            if len > deadline then
+              Violation.add b ~node:(List.hd path) "path-over-deadline"
+                "path %s takes %d > T=%d"
+                (render_path (Dfg.Graph.names g) path)
+                len deadline)
+          (Dfg.Paths.critical_paths g)
+      else begin
+        Violation.fact b;
+        let len = Dfg.Paths.longest_path g ~weight:time in
+        if len > deadline then
+          Violation.add b "path-over-deadline"
+            "longest root-to-leaf path takes %d > T=%d (too many paths to \
+             enumerate)"
+            len deadline
+      end;
+      match expect_cost with
+      | None -> ()
+      | Some reported ->
+          Violation.fact b;
+          let actual = ref 0 in
+          Array.iteri
+            (fun v t -> actual := !actual + Fulib.Table.cost table ~node:v ~ftype:t)
+            a;
+          if !actual <> reported then
+            Violation.add b "cost-mismatch"
+              "reported system cost %d, table recomputes %d" reported !actual
+    end
+  end;
+  Violation.report b ~checker:"Check.Assignment"

@@ -1,0 +1,30 @@
+(** Phase-1 feasibility oracle.
+
+    The paper's assignment contract: every root-to-leaf path of the DAG
+    portion finishes within the timing constraint [T] under the assigned
+    node times. This checker re-walks the paths via [Dfg.Paths] and
+    recomputes times and costs from [Fulib.Table] — it shares no code with
+    the [Assign.*] solvers it audits. *)
+
+(** [check ?expect_cost ?max_paths g table a ~deadline] verifies that
+
+    - [a] has one entry per node and matches [table]'s node count
+      (["length-mismatch"], ["table-mismatch"]);
+    - every type index is within the library (["type-out-of-range"]);
+    - every root-to-leaf path of the DAG portion meets [deadline]
+      (["path-over-deadline"]) — enumerated exhaustively when the path
+      count is at most [max_paths] (default [20_000]), otherwise checked
+      by the longest-path recurrence over the same [Dfg.Paths] view;
+    - when [expect_cost] is given, the system cost recomputed from the
+      table equals it (["cost-mismatch"]).
+
+    Structural violations suppress the dependent checks (an out-of-range
+    type has no time to walk paths with). *)
+val check :
+  ?expect_cost:int ->
+  ?max_paths:int ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  Assign.Assignment.t ->
+  deadline:int ->
+  Violation.report

@@ -1,0 +1,14 @@
+let override : bool option Atomic.t = Atomic.make None
+let set_override v = Atomic.set override v
+let get_override () = Atomic.get override
+
+let enabled ?(getenv = Sys.getenv_opt) () =
+  match Atomic.get override with
+  | Some forced -> forced
+  | None -> (
+      match getenv "HETSCHED_VALIDATE" with
+      | None -> false
+      | Some s -> (
+          match String.lowercase_ascii (String.trim s) with
+          | "" | "0" | "false" | "no" | "off" -> false
+          | _ -> true))

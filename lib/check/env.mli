@@ -1,0 +1,21 @@
+(** The [HETSCHED_VALIDATE] switch.
+
+    When enabled, [Core.Synthesis.run] and [Core.Experiments.run_benchmark]
+    audit every solver output with the checkers of this library and raise
+    {!Violation.Failed} on the first corrupt result. Off by default so
+    benchmarks measure the solvers, not the oracle; CI runs the whole suite
+    with it on. *)
+
+(** [enabled ()] — [true] iff the override is set to [Some true], or no
+    override is set and [HETSCHED_VALIDATE] holds anything other than
+    (case-insensitively) [""], ["0"], ["false"], ["no"] or ["off"].
+    [?getenv] exists for tests. *)
+val enabled : ?getenv:(string -> string option) -> unit -> bool
+
+(** Force validation on or off regardless of the environment ([None]
+    restores environment control). Tests use this; it is process-global and
+    read atomically, so it is safe to set before fanning work out over
+    domains. *)
+val set_override : bool option -> unit
+
+val get_override : unit -> bool option

@@ -1,0 +1,54 @@
+type t = { code : string; node : int option; detail : string }
+type report = { checker : string; violations : t list; checked : int }
+
+let ok r = r.violations = []
+let has_code r code = List.exists (fun v -> v.code = code) r.violations
+
+let render_violation v =
+  match v.node with
+  | Some n -> Printf.sprintf "[%s] node %d: %s" v.code n v.detail
+  | None -> Printf.sprintf "[%s] %s" v.code v.detail
+
+let summary r =
+  if ok r then Printf.sprintf "%s: ok (%d facts checked)" r.checker r.checked
+  else begin
+    let shown = 5 in
+    let n = List.length r.violations in
+    let head = List.filteri (fun i _ -> i < shown) r.violations in
+    let tail = if n > shown then Printf.sprintf "; ... %d more" (n - shown) else "" in
+    Printf.sprintf "%s: %d violation(s) over %d facts: %s%s" r.checker n
+      r.checked
+      (String.concat "; " (List.map render_violation head))
+      tail
+  end
+
+let merge ~checker reports =
+  {
+    checker;
+    violations = List.concat_map (fun r -> r.violations) reports;
+    checked = List.fold_left (fun acc r -> acc + r.checked) 0 reports;
+  }
+
+exception Failed of report
+
+let raise_if_failed r = if not (ok r) then raise (Failed r)
+
+let () =
+  Printexc.register_printer (function
+    | Failed r -> Some ("Check.Violation.Failed: " ^ summary r)
+    | _ -> None)
+
+type builder = { mutable rev : t list; mutable facts : int }
+
+let builder () = { rev = []; facts = 0 }
+let fact b = b.facts <- b.facts + 1
+
+let add b ?node code fmt =
+  Printf.ksprintf
+    (fun detail ->
+      b.facts <- b.facts + 1;
+      b.rev <- { code; node; detail } :: b.rev)
+    fmt
+
+let report b ~checker =
+  { checker; violations = List.rev b.rev; checked = b.facts }

@@ -1,7 +1,12 @@
 (** CSV export of experiment results (RFC-4180-style quoting). *)
 
-(** [render ~header rows] — fields containing commas, quotes or newlines
-    are quoted, quotes doubled; rows may be ragged. *)
+(** [render ~header rows] — fields containing commas, quotes, LF or CR are
+    quoted, quotes doubled; field content (including CR/LF and
+    leading/trailing spaces) is otherwise preserved byte-for-byte, so a
+    quote-aware parser round-trips every field exactly. Rows may be
+    ragged. Records are separated by a single ["\n"] (LF, {e not} CRLF —
+    the Unix convention, accepted by RFC-4180 consumers) and the output
+    ends with a trailing newline. *)
 val render : header:string list -> string list list -> string
 
 (** A benchmark report as CSV: one row per (deadline, algorithm) with the

@@ -50,9 +50,17 @@ let run_benchmark ?pool ~name ~seed ~algorithms g =
   let cell_costs =
     Par.Pool.map_array pool
       (fun (deadline, algo) ->
-        Option.map
-          (Assign.Assignment.total_cost table)
-          (Synthesis.assign algo g table ~deadline))
+        match Synthesis.assign algo g table ~deadline with
+        | None -> None
+        | Some a ->
+            let cost = Assign.Assignment.total_cost table a in
+            (* HETSCHED_VALIDATE: audit every grid cell with the
+               independent Phase-1 oracle, in 1- and multi-domain runs
+               alike (the flag is read inside the pool task) *)
+            if Check.Env.enabled () then
+              Check.Violation.raise_if_failed
+                (Check.Assignment.check ~expect_cost:cost g table a ~deadline);
+            Some cost)
       cells
   in
   let row_costs =

@@ -34,7 +34,12 @@ val deadlines : Dfg.Graph.t -> Fulib.Table.t -> int list
     solves and are evaluated on [pool] (default {!Par.Pool.global}); the
     report is bit-identical for any domain count. Raises [Invalid_argument]
     when [algorithms] is empty or omits {!Synthesis.Greedy} — the baseline
-    [average_reduction] is computed against. *)
+    [average_reduction] is computed against. When [Check.Env.enabled ()]
+    (the [HETSCHED_VALIDATE] switch) every grid cell's assignment is
+    audited with [Check.Assignment] and every per-row configuration solve
+    goes through {!Synthesis.run}'s full audit; the first corrupt cell
+    raises [Check.Violation.Failed] (re-raised deterministically from the
+    lowest grid index under any domain count). *)
 val run_benchmark :
   ?pool:Par.Pool.t ->
   name:string ->
@@ -42,6 +47,14 @@ val run_benchmark :
   algorithms:Synthesis.algorithm list ->
   Dfg.Graph.t ->
   benchmark_report
+
+(** The algorithm lists Tables 1 and 2 are built from. *)
+val table1_algorithms : Synthesis.algorithm list
+
+val table2_algorithms : Synthesis.algorithm list
+
+(** Stable per-benchmark table seed (deterministic in the name only). *)
+val seed_of_name : string -> int
 
 (** Table 1 — tree benchmarks (4-/8-stage lattice, Volterra):
     Greedy vs [Tree_Assign] vs Once vs Repeat. *)

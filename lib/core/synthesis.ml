@@ -49,6 +49,19 @@ let min_deadline g table = Assign.Assignment.min_makespan g table
 
 type scheduler = List_scheduling | Force_directed
 
+(* Independent audit of a finished synthesis result (HETSCHED_VALIDATE):
+   Phase-1 path feasibility + recomputed cost, Phase-2 precedence /
+   deadline / occupancy, and configuration coverage — all recomputed by
+   lib/check with no call into the solvers that produced the result. *)
+let validate g table ~deadline r =
+  Check.Violation.raise_if_failed
+    (Check.Assignment.check ~expect_cost:r.cost g table r.assignment ~deadline);
+  Check.Violation.raise_if_failed
+    (Check.Schedule.check ~assignment:r.assignment ~config:r.config g table
+       r.schedule ~deadline);
+  Check.Violation.raise_if_failed
+    (Check.Config.check table r.schedule ~config:r.config)
+
 let run ?(scheduler = List_scheduling) algorithm g table ~deadline =
   (* ASAP/ALAP starts are computed once per synthesis run and threaded
      through the bound and the scheduler. *)
@@ -66,7 +79,7 @@ let run ?(scheduler = List_scheduling) algorithm g table ~deadline =
       match schedule_with g table assignment ~deadline with
       | None -> None
       | Some { Sched.Min_resource.schedule; config; lower_bound } ->
-          Some
+          let r =
             {
               algorithm;
               assignment;
@@ -75,7 +88,10 @@ let run ?(scheduler = List_scheduling) algorithm g table ~deadline =
               schedule;
               config;
               lower_bound;
-            })
+            }
+          in
+          if Check.Env.enabled () then validate g table ~deadline r;
+          Some r)
 
 let pp_result ~graph ~table ppf r =
   let names = Dfg.Graph.names graph in

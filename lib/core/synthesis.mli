@@ -46,7 +46,9 @@ type result = {
 (** [run ?scheduler algorithm g table ~deadline] performs both phases
     (default scheduler: {!List_scheduling}). [None] when the deadline is
     infeasible (or, for [Tree], when the graph is not a forest — that
-    raises [Invalid_argument] instead). *)
+    raises [Invalid_argument] instead). When [Check.Env.enabled ()] (the
+    [HETSCHED_VALIDATE] switch) every produced result is audited with
+    {!validate} before it is returned. *)
 val run :
   ?scheduler:scheduler ->
   algorithm ->
@@ -54,6 +56,13 @@ val run :
   Fulib.Table.t ->
   deadline:int ->
   result option
+
+(** Audit a result with the independent [lib/check] oracles — Phase-1 path
+    feasibility and recomputed cost ([Check.Assignment]), Phase-2
+    precedence/deadline/occupancy ([Check.Schedule]) and configuration
+    coverage ([Check.Config]). Raises [Check.Violation.Failed] on the
+    first corrupt artifact; returns unit on clean results. *)
+val validate : Dfg.Graph.t -> Fulib.Table.t -> deadline:int -> result -> unit
 
 (** Smallest feasible deadline for the graph/table (all-fastest critical
     path) — the paper's first timing constraint in every experiment. *)

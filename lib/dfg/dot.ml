@@ -1,11 +1,30 @@
+(* Escape text interpolated into a double-quoted DOT label: backslashes
+   and quotes are escaped, raw newlines become DOT's "\n" line breaks. *)
+let escape_label s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> ()
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let to_dot ?label g =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "digraph dfg {\n  rankdir=TB;\n";
   for v = 0 to Graph.num_nodes g - 1 do
-    let extra = match label with None -> "" | Some f -> "\\n" ^ f v in
+    let extra =
+      match label with None -> "" | Some f -> "\\n" ^ escape_label (f v)
+    in
     Buffer.add_string buf
-      (Printf.sprintf "  n%d [label=\"%s\\n(%s)%s\"];\n" v (Graph.name g v)
-         (Graph.op g v) extra)
+      (Printf.sprintf "  n%d [label=\"%s\\n(%s)%s\"];\n" v
+         (escape_label (Graph.name g v))
+         (escape_label (Graph.op g v))
+         extra)
   done;
   List.iter
     (fun { Graph.src; dst; delay } ->

@@ -3,5 +3,8 @@
 (** [to_dot ?label g] renders [g] in DOT syntax. Zero-delay edges are solid;
     an edge with [d] delays is dashed and annotated ["d"]. [label v], when
     given, appends extra text to node [v]'s label (e.g. the assigned FU
-    type). *)
+    type). Node names, operation kinds and [label] text are escaped for
+    DOT's double-quoted strings: ["\""] and ["\\"] are backslash-escaped,
+    raw newlines become DOT line breaks, carriage returns are dropped — a
+    name containing quotes or backslashes can no longer emit invalid DOT. *)
 val to_dot : ?label:(int -> string) -> Graph.t -> string

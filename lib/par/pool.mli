@@ -32,9 +32,17 @@ type t
     {!shutdown} when called from inside a pool task. *)
 exception Nested_pool
 
-(** Resolve the domain count from the environment: [HETSCHED_DOMAINS] if it
-    parses as an integer (clamped to [\[1; 128\]]), otherwise
-    [Domain.recommended_domain_count ()]. [?getenv] exists for tests. *)
+(** Resolve the domain count from the environment. The value of
+    [HETSCHED_DOMAINS] is trimmed of surrounding whitespace and parsed as
+    an integer; every case resolves to a documented count and none raises:
+
+    - unset, empty, whitespace-only or unparsable (e.g. ["junk"]) →
+      [Domain.recommended_domain_count ()];
+    - [0] or negative → [1] (the exact sequential fallback);
+    - greater than [128] → [128] (the pool's hard cap);
+    - anything else → that value.
+
+    [?getenv] exists for tests. *)
 val domains_from_env : ?getenv:(string -> string option) -> unit -> int
 
 (** [create ?domains ()] spawns [domains - 1] worker domains (the

@@ -1,31 +1,36 @@
 module Pq = struct
   (* tiny priority queue on sorted association buckets; config counts are
-     small so simplicity beats a heap *)
-  type 'a t = { mutable buckets : (int * 'a list) list }
+     small so simplicity beats a heap. Each bucket is a functional queue
+     (front, reversed back): equal-priority entries pop FIFO, so the
+     search below explores — and therefore returns — equal-objective
+     configurations in generation order, independent of how ties happened
+     to be pushed. *)
+  type 'a t = { mutable buckets : (int * ('a list * 'a list)) list }
 
   let create () = { buckets = [] }
 
   let push q priority x =
     let rec insert = function
-      | [] -> [ (priority, [ x ]) ]
-      | (p, xs) :: rest when p = priority -> (p, x :: xs) :: rest
-      | (p, _) :: _ as all when p > priority -> (priority, [ x ]) :: all
+      | [] -> [ (priority, ([ x ], [])) ]
+      | (p, (front, back)) :: rest when p = priority ->
+          (p, (front, x :: back)) :: rest
+      | (p, _) :: _ as all when p > priority -> (priority, ([ x ], [])) :: all
       | bucket :: rest -> bucket :: insert rest
     in
     q.buckets <- insert q.buckets
 
-  let pop q =
+  let rec pop q =
     match q.buckets with
     | [] -> None
-    | (p, [ x ]) :: rest ->
-        q.buckets <- rest;
+    | (p, (x :: front, back)) :: rest ->
+        q.buckets <- (if front = [] && back = [] then rest else (p, (front, back)) :: rest);
         Some (p, x)
-    | (p, x :: xs) :: rest ->
-        q.buckets <- (p, xs) :: rest;
-        Some (p, x)
-    | (_, []) :: rest ->
+    | (p, ([], (_ :: _ as back))) :: rest ->
+        q.buckets <- (p, (List.rev back, [])) :: rest;
+        pop q
+    | (_, ([], [])) :: rest ->
         q.buckets <- rest;
-        None
+        pop q
 end
 
 let solve ?weights ?budget g table a ~deadline =

@@ -11,6 +11,20 @@
     schedulability check); meant for small instances and for measuring how
     close the paper's [Min_FU_Scheduling] gets. *)
 
+(** The search's priority queue, exposed for tests. Entries of equal
+    priority pop in FIFO (insertion) order, so the minimal configuration
+    returned among equal-objective candidates is deterministic and does
+    not depend on push order of ties. *)
+module Pq : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> int -> 'a -> unit
+
+  (** Lowest priority first; FIFO within a priority. *)
+  val pop : 'a t -> (int * 'a) option
+end
+
 (** [solve ?weights ?budget g table a ~deadline] returns the optimal
     configuration, its witness schedule, and the objective value. [weights]
     defaults to all-ones (minimise total FU count); [budget] (default

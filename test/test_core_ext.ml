@@ -90,6 +90,78 @@ let test_csv_escaping () =
   Alcotest.(check bool) "newline quoted" true (contains out "\"with\nnewline\"");
   Alcotest.(check bool) "plain untouched" true (contains out "plain,")
 
+(* Naive quote-aware CSV parser: the round-trip oracle for Csv.render.
+   Splits records on the locked "\n" convention, honours quoted fields and
+   doubled quotes, preserves field bytes otherwise. *)
+let naive_parse csv =
+  let records = ref [] and fields = ref [] and buf = Buffer.create 16 in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let n = String.length csv in
+  let rec go i ~quoted =
+    if i >= n then ()
+    else
+      let c = csv.[i] in
+      if quoted then
+        if c = '"' then
+          if i + 1 < n && csv.[i + 1] = '"' then begin
+            Buffer.add_char buf '"';
+            go (i + 2) ~quoted:true
+          end
+          else go (i + 1) ~quoted:false
+        else begin
+          Buffer.add_char buf c;
+          go (i + 1) ~quoted:true
+        end
+      else
+        match c with
+        | '"' -> go (i + 1) ~quoted:true
+        | ',' ->
+            flush_field ();
+            go (i + 1) ~quoted:false
+        | '\n' ->
+            flush_record ();
+            go (i + 1) ~quoted:false
+        | c ->
+            Buffer.add_char buf c;
+            go (i + 1) ~quoted:false
+  in
+  go 0 ~quoted:false;
+  if Buffer.length buf > 0 || !fields <> [] then flush_record ();
+  List.rev !records
+
+let test_csv_round_trip () =
+  (* the locked line-ending convention: records separated by a single LF
+     (never CRLF), one trailing newline *)
+  Alcotest.(check string) "LF line endings, trailing newline" "a,b\n1,2\n"
+    (Core.Csv.render ~header:[ "a"; "b" ] [ [ "1"; "2" ] ]);
+  let rows =
+    [
+      [ "plain"; "with,comma"; "with\"quote" ];
+      [ "cr\rlf\ncrlf\r\n end"; "  leading and trailing  "; "" ];
+      [ "\"quoted-looking\""; "a,b\"c\nd"; "tab\tstays" ];
+    ]
+  in
+  let header = [ "h1"; "h2"; "h3" ] in
+  match naive_parse (Core.Csv.render ~header rows) with
+  | parsed_header :: parsed_rows ->
+      Alcotest.(check (list string)) "header survives" header parsed_header;
+      Alcotest.(check int) "row count" (List.length rows) (List.length parsed_rows);
+      List.iteri
+        (fun i got ->
+          Alcotest.(check (list string))
+            (Printf.sprintf "row %d survives byte-for-byte" i)
+            (List.nth rows i) got)
+        parsed_rows
+  | [] -> Alcotest.fail "no records parsed"
+
 let test_csv_of_report () =
   let report = List.hd (Core.Experiments.table2 ()) in
   let csv = Core.Csv.of_report report in
@@ -230,6 +302,7 @@ let () =
       ( "csv",
         [
           quick "escaping" test_csv_escaping;
+          quick "round trip" test_csv_round_trip;
           quick "of_report" test_csv_of_report;
           quick "of_reports" test_csv_of_reports_prefixes_benchmark;
           quick "of_frontier" test_csv_of_frontier;

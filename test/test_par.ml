@@ -131,7 +131,16 @@ let test_domains_from_env () =
   Alcotest.(check int) "negative clamps to 1" 1 (resolve (Some "-3"));
   Alcotest.(check int) "whitespace tolerated" 2 (resolve (Some " 2 "));
   Alcotest.(check int) "clamped to 128" 128 (resolve (Some "4096"));
-  Alcotest.(check int) "junk -> recommended" rec_default (resolve (Some "junk"))
+  Alcotest.(check int) "129 clamps to 128" 128 (resolve (Some "129"));
+  Alcotest.(check int) "128 passes through" 128 (resolve (Some "128"));
+  Alcotest.(check int) "junk -> recommended" rec_default (resolve (Some "junk"));
+  Alcotest.(check int) "empty -> recommended" rec_default (resolve (Some ""));
+  Alcotest.(check int) "whitespace-only -> recommended" rec_default
+    (resolve (Some "   "));
+  Alcotest.(check int) "trailing junk -> recommended" rec_default
+    (resolve (Some "2x"));
+  Alcotest.(check int) "very negative clamps to 1" 1
+    (resolve (Some "-1000000"))
 
 (* --- differential: parallel == sequential -------------------------------- *)
 

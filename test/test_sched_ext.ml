@@ -207,6 +207,86 @@ let test_rotation_zero_rotations_is_static () =
       Alcotest.(check int) "same" static res.Sched.Rotation.period
   | _ -> Alcotest.fail "feasible"
 
+(* --- Min_config's priority queue ---------------------------------------- *)
+
+let test_pq_fifo_ties () =
+  let q = Sched.Min_config.Pq.create () in
+  Sched.Min_config.Pq.push q 2 "first-at-2";
+  Sched.Min_config.Pq.push q 1 "first-at-1";
+  Sched.Min_config.Pq.push q 2 "second-at-2";
+  Sched.Min_config.Pq.push q 1 "second-at-1";
+  Sched.Min_config.Pq.push q 2 "third-at-2";
+  let drain () =
+    let rec go acc =
+      match Sched.Min_config.Pq.pop q with
+      | Some (p, x) -> go ((p, x) :: acc)
+      | None -> List.rev acc
+    in
+    go []
+  in
+  Alcotest.(check (list (pair int string)))
+    "lowest priority first, FIFO within ties"
+    [
+      (1, "first-at-1");
+      (1, "second-at-1");
+      (2, "first-at-2");
+      (2, "second-at-2");
+      (2, "third-at-2");
+    ]
+    (drain ());
+  Alcotest.(check bool) "empty after drain"
+    (Sched.Min_config.Pq.pop q = None) true
+
+let test_pq_interleaved () =
+  (* FIFO survives interleaved pushes and pops within a bucket *)
+  let q = Sched.Min_config.Pq.create () in
+  Sched.Min_config.Pq.push q 5 "a";
+  Sched.Min_config.Pq.push q 5 "b";
+  Alcotest.(check (option (pair int string))) "pop a" (Some (5, "a"))
+    (Sched.Min_config.Pq.pop q);
+  Sched.Min_config.Pq.push q 5 "c";
+  Sched.Min_config.Pq.push q 4 "d";
+  Alcotest.(check (option (pair int string))) "lower priority overtakes"
+    (Some (4, "d"))
+    (Sched.Min_config.Pq.pop q);
+  Alcotest.(check (option (pair int string))) "pop b" (Some (5, "b"))
+    (Sched.Min_config.Pq.pop q);
+  Alcotest.(check (option (pair int string))) "pop c" (Some (5, "c"))
+    (Sched.Min_config.Pq.pop q);
+  Alcotest.(check (option (pair int string))) "empty" None
+    (Sched.Min_config.Pq.pop q)
+
+let test_min_config_deterministic_tie () =
+  (* two independent chains, two types with symmetric costs: several
+     configurations share the minimal total; the solver must return the
+     same one however the search happened to enqueue ties, i.e. the first
+     in generation order from the lower bound *)
+  let g = graph 4 [ (0, 1); (2, 3) ] in
+  let tbl =
+    table lib2
+      [
+        ([ 1; 2 ], [ 4; 1 ]);
+        ([ 1; 2 ], [ 4; 1 ]);
+        ([ 1; 2 ], [ 4; 1 ]);
+        ([ 1; 2 ], [ 4; 1 ]);
+      ]
+  in
+  let a = [| 0; 1; 1; 0 |] in
+  match Sched.Min_config.solve g tbl a ~deadline:3 with
+  | None -> Alcotest.fail "feasible instance reported infeasible"
+  | Some (config, schedule, total) ->
+      Alcotest.(check int) "objective is the config total"
+        (Sched.Config.total config) total;
+      Alcotest.(check bool) "witness schedule fits" true
+        (Sched.Schedule.fits tbl schedule ~config);
+      (* pin the deterministic choice: re-solving yields the same config *)
+      (match Sched.Min_config.solve g tbl a ~deadline:3 with
+      | Some (config', _, _) ->
+          Alcotest.(check string) "re-solve identical"
+            (Sched.Config.to_string config)
+            (Sched.Config.to_string config')
+      | None -> Alcotest.fail "re-solve failed")
+
 let () =
   Alcotest.run "sched.extensions"
     [
@@ -230,5 +310,11 @@ let () =
           quick "never worse than static" test_rotation_never_worse_than_static;
           quick "retiming consistency" test_rotation_retiming_consistent;
           quick "zero rotations" test_rotation_zero_rotations_is_static;
+        ] );
+      ( "min_config.pq",
+        [
+          quick "fifo within ties" test_pq_fifo_ties;
+          quick "interleaved push/pop" test_pq_interleaved;
+          quick "deterministic tie config" test_min_config_deterministic_tie;
         ] );
     ]

@@ -135,6 +135,59 @@ let test_dot_output () =
   in
   Alcotest.(check bool) "custom label" true (contains_l labelled "L1")
 
+let test_dot_escaping () =
+  (* names, ops and ?label text containing DOT metacharacters must emit
+     escaped label attributes, never a raw quote or backslash in them *)
+  let names = [| "a\"b"; "back\\slash"; "multi\nline" |] in
+  let ops = [| "mul\"op"; "op"; "op" |] in
+  let g =
+    Dfg.Graph.of_edges ~names ~ops
+      [ { Dfg.Graph.src = 0; dst = 2; delay = 0 };
+        { Dfg.Graph.src = 1; dst = 2; delay = 0 } ]
+  in
+  let dot = Dfg.Dot.to_dot ~label:(fun v -> Printf.sprintf "t=\"%d\"" v) g in
+  let contains needle =
+    let len = String.length needle in
+    let rec go i =
+      i + len <= String.length dot
+      && (String.sub dot i len = needle || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "quote in name escaped" true (contains "a\\\"b");
+  Alcotest.(check bool) "backslash in name escaped" true
+    (contains "back\\\\slash");
+  Alcotest.(check bool) "newline in name becomes \\n" true
+    (contains "multi\\nline");
+  Alcotest.(check bool) "quote in op escaped" true (contains "mul\\\"op");
+  Alcotest.(check bool) "quote in label text escaped" true
+    (contains "t=\\\"0\\\"");
+  (* structural sanity: every node line closes its attribute list, and no
+     label attribute contains an unescaped quote (quotes are balanced:
+     exactly two raw quotes per label once escapes are removed) *)
+  let has_label line =
+    let needle = "[label=" in
+    let len = String.length needle in
+    let rec go i =
+      i + len <= String.length line
+      && (String.sub line i len = needle || go (i + 1))
+    in
+    go 0
+  in
+  String.split_on_char '\n' dot
+  |> List.iter (fun line ->
+         if has_label line then begin
+           let raw_quotes = ref 0 in
+           String.iteri
+             (fun i c ->
+               if c = '"' && (i = 0 || line.[i - 1] <> '\\') then
+                 incr raw_quotes)
+             line;
+           Alcotest.(check int)
+             ("balanced quotes in: " ^ line)
+             2 !raw_quotes
+         end)
+
 let () =
   Alcotest.run "dfg.topo_paths"
     [
@@ -161,5 +214,6 @@ let () =
           quick "transpose involutive" test_transpose_involutive;
           quick "transpose keeps longest path" test_transpose_preserves_longest_path;
           quick "dot export" test_dot_output;
+          quick "dot label escaping" test_dot_escaping;
         ] );
     ]
