@@ -281,6 +281,35 @@ let par_tests =
          pair "batch-dfg" run_batch;
        ])
 
+(* --- Observability overhead: the disabled-mode no-op contract --------- *)
+
+(* The obs layer claims near-zero cost when tracing is off: a span is one
+   flag check, a counter bump one fetch-and-add. The span-off/span-on pair
+   below measures both sides of that claim against a bare call; the issue's
+   acceptance bound (tracing off => <2% kernel regression) rides on the
+   "off" side staying indistinguishable from bare. *)
+let obs_tests =
+  let work x = Sys.opaque_identity (x * 7 + 3) in
+  let c = Obs.Counter.make "bench.obs.counter" in
+  Test.make_grouped ~name:"obs"
+    [
+      Test.make ~name:"bare-call"
+        (Staged.stage (fun () -> ignore (work 41)));
+      Test.make ~name:"span-disabled"
+        (Staged.stage (fun () ->
+             Obs.Env.set_trace (Some false);
+             ignore (Obs.Span.with_ "bench.noop" (fun () -> work 41));
+             Obs.Env.set_trace None));
+      Test.make ~name:"span-enabled"
+        (Staged.stage (fun () ->
+             Obs.Env.set_trace (Some true);
+             ignore (Obs.Span.with_ "bench.traced" (fun () -> work 41));
+             Obs.Env.set_trace None;
+             Obs.Span.clear ()));
+      Test.make ~name:"counter-bump"
+        (Staged.stage (fun () -> Obs.Counter.incr c));
+    ]
+
 (* --- Runner ----------------------------------------------------------- *)
 
 let run_benchmarks ~quick tests =
@@ -381,6 +410,7 @@ let all_groups =
     ("scaling", scaling_tests);
     ("kernel", kernel_tests);
     ("par", par_tests);
+    ("obs", obs_tests);
   ]
 
 (* CLI: [bench/main.exe [GROUP ...] [--quick] [--json FILE] [--domains N]].

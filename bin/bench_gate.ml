@@ -1,0 +1,201 @@
+(* Bench-trajectory gate.
+
+   [bench/main.exe --json] rows are the repo's performance record:
+   BENCH_kernel.json is the committed baseline, CI produces a fresh run.
+   This tool (1) appends fresh rows to a trajectory file, tagging each
+   batch with a monotonically increasing "run" number, and (2) compares
+   the latest run against a baseline, failing when any benchmark regressed
+   past a threshold — the consumer the committed baseline never had. *)
+
+type row = {
+  name : string;
+  wall_ns : float;
+  run : int; (* 0 for rows written by bench/main.exe directly *)
+  json : Obs.Json.t; (* original object, preserved by [append] *)
+}
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "bench_gate: %s\n" msg;
+      exit 2)
+    fmt
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let parse_rows ~path json =
+  match Obs.Json.to_list_opt json with
+  | None -> die "%s: expected a top-level JSON array of bench rows" path
+  | Some items ->
+      List.mapi
+        (fun i item ->
+          let field key conv what =
+            match Option.bind (Obs.Json.member key item) conv with
+            | Some v -> v
+            | None -> die "%s: row %d has no %s %S field" path i what key
+          in
+          {
+            name = field "name" Obs.Json.to_string_opt "string";
+            wall_ns = field "wall_ns" Obs.Json.to_float_opt "number";
+            run =
+              (match Option.bind (Obs.Json.member "run" item) Obs.Json.to_int_opt with
+              | Some r -> r
+              | None -> 0);
+            json = item;
+          })
+        items
+
+let load_rows path =
+  if not (Sys.file_exists path) then die "%s: no such file" path;
+  match Obs.Json.parse (read_file path) with
+  | Ok json -> parse_rows ~path json
+  | Error msg -> die "%s: %s" path msg
+
+(* --- append ----------------------------------------------------------- *)
+
+let append trajectory latest =
+  let existing = if Sys.file_exists trajectory then load_rows trajectory else [] in
+  let fresh = load_rows latest in
+  let next_run = 1 + List.fold_left (fun acc r -> max acc r.run) (-1) existing in
+  let tag r =
+    match r.json with
+    | Obs.Json.Obj fields ->
+        Obs.Json.Obj
+          (List.remove_assoc "run" fields @ [ ("run", Obs.Json.Int next_run) ])
+    | other -> other
+  in
+  let out =
+    Obs.Json.List (List.map (fun r -> r.json) existing @ List.map tag fresh)
+  in
+  let oc = open_out trajectory in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Obs.Json.to_string out);
+      output_char oc '\n');
+  Printf.printf "appended %d row(s) as run %d to %s (%d total)\n"
+    (List.length fresh) next_run trajectory
+    (List.length existing + List.length fresh)
+
+(* --- compare ---------------------------------------------------------- *)
+
+(* In a trajectory file the baseline is the oldest run and the candidate
+   the newest; a plain bench/main.exe dump has a single run (0), so both
+   selections are the whole file. *)
+let select_run which rows =
+  match rows with
+  | [] -> []
+  | first :: _ ->
+      let pick = List.fold_left (fun acc r -> which acc r.run) first.run rows in
+      List.filter (fun r -> r.run = pick) rows
+
+let compare_files ~baseline ~latest ~threshold ~min_ns ~soft =
+  let base_rows = select_run min (load_rows baseline) in
+  let new_rows = select_run max (load_rows latest) in
+  let base_by_name = List.map (fun r -> (r.name, r.wall_ns)) base_rows in
+  let matched =
+    List.filter_map
+      (fun r ->
+        Option.map (fun b -> (r.name, b, r.wall_ns)) (List.assoc_opt r.name base_by_name))
+      new_rows
+  in
+  if matched = [] then
+    die "no benchmark names in common between %s and %s" baseline latest;
+  Printf.printf "%-52s %14s %14s %8s  %s\n" "benchmark" "baseline" "latest"
+    "ratio" "verdict";
+  Printf.printf "%s\n" (String.make 100 '-');
+  let regressions = ref 0 in
+  List.iter
+    (fun (name, base, fresh) ->
+      let ratio = if base > 0.0 then fresh /. base else 1.0 in
+      let verdict =
+        if base < min_ns then "skip (below --min-ns)"
+        else if ratio > 1.0 +. threshold then begin
+          incr regressions;
+          "REGRESSED"
+        end
+        else if ratio < 1.0 -. threshold then "improved"
+        else "ok"
+      in
+      Printf.printf "%-52s %12.0fns %12.0fns %8.3f  %s\n" name base fresh ratio
+        verdict)
+    matched;
+  if !regressions > 0 then begin
+    Printf.printf
+      "%d benchmark(s) regressed more than %.0f%% vs %s%s\n"
+      !regressions (100.0 *. threshold) baseline
+      (if soft then " (soft mode: not failing)" else "");
+    if not soft then exit 1
+  end
+  else Printf.printf "bench gate passed (threshold %.0f%%)\n" (100.0 *. threshold)
+
+(* --- CLI --------------------------------------------------------------- *)
+
+open Cmdliner
+
+let baseline_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BASELINE" ~doc:"Committed baseline (bench rows or trajectory).")
+
+let latest_arg =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"LATEST" ~doc:"Fresh bench/main.exe --json output.")
+
+let threshold_arg =
+  Arg.(
+    value & opt float 0.25
+    & info [ "threshold" ] ~docv:"FRACTION"
+        ~doc:
+          "Allowed slowdown before a row counts as a regression (0.25 = \
+           25%).")
+
+let min_ns_arg =
+  Arg.(
+    value & opt float 10_000.0
+    & info [ "min-ns" ] ~docv:"NS"
+        ~doc:
+          "Ignore rows whose baseline is below this many nanoseconds — too \
+           fast to compare reliably.")
+
+let soft_arg =
+  Arg.(
+    value & flag
+    & info [ "soft" ]
+        ~doc:"Report regressions but always exit 0 (CI smoke mode).")
+
+let compare_cmd =
+  let doc = "Compare the latest bench run against a committed baseline." in
+  Cmd.v (Cmd.info "compare" ~doc)
+    Term.(
+      const (fun baseline latest threshold min_ns soft ->
+          compare_files ~baseline ~latest ~threshold ~min_ns ~soft)
+      $ baseline_arg $ latest_arg $ threshold_arg $ min_ns_arg $ soft_arg)
+
+let append_cmd =
+  let doc =
+    "Append a fresh bench run to a trajectory file, tagged with the next \
+     run number."
+  in
+  let trajectory =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRAJECTORY" ~doc:"Trajectory file (created if missing).")
+  in
+  Cmd.v (Cmd.info "append" ~doc)
+    Term.(const (fun t l -> append t l) $ trajectory $ latest_arg)
+
+let () =
+  let info =
+    Cmd.info "bench_gate"
+      ~doc:"Regression gate over bench/main.exe --json trajectories"
+  in
+  exit (Cmd.eval (Cmd.group info [ compare_cmd; append_cmd ]))

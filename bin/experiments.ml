@@ -59,6 +59,32 @@ let run_validate () =
     (Workloads.Filters.all ());
   print_endline "all benchmark reports validated"
 
+(* Rebuild the full benchmark grids (solver work only, no report
+   rendering) and dump the observability registries: every counter the
+   solvers bumped and the gauges, as a sorted table. *)
+let run_metrics () =
+  let trees = Workloads.Filters.trees () in
+  List.iter
+    (fun (name, g) ->
+      let algorithms =
+        if List.mem_assoc name trees then Core.Experiments.table1_algorithms
+        else Core.Experiments.table2_algorithms
+      in
+      ignore
+        (Core.Experiments.run_benchmark ~name
+           ~seed:(Core.Experiments.seed_of_name name)
+           ~algorithms g))
+    (Workloads.Filters.all ());
+  let dump title rows =
+    Printf.printf "%s\n%s\n" title (String.make (String.length title) '-');
+    if rows = [] then print_endline "(none)"
+    else
+      List.iter (fun (name, v) -> Printf.printf "%-40s %12d\n" name v) rows;
+    print_newline ()
+  in
+  dump "counters (after one full six-benchmark grid)" (Obs.Counter.snapshot ());
+  dump "gauges" (Obs.Gauge.snapshot ())
+
 let run_all () =
   run_motivational ();
   print_newline ();
@@ -70,11 +96,31 @@ let run_all () =
 
 open Cmdliner
 
+(* Every subcommand accepts [--trace FILE]: force tracing on and write the
+   span/counter JSON there on the way out. Without the flag, tracing still
+   happens under HETSCHED_TRACE (written to its default path). *)
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable span tracing and write the JSON trace to $(docv) when \
+           the command finishes. HETSCHED_TRACE=1 (or =path) does the same \
+           without the flag.")
+
+let traced f trace =
+  (match trace with Some _ -> Obs.Env.set_trace (Some true) | None -> ());
+  f ();
+  match Obs.Trace.finish ?path:trace () with
+  | Some path -> Printf.eprintf "trace written to %s\n%!" path
+  | None -> ()
+
 let cmd_of name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+  Cmd.v (Cmd.info name ~doc) Term.(const (traced f) $ trace_arg)
 
 let () =
-  let default = Term.(const run_all $ const ()) in
+  let default = Term.(const (traced run_all) $ trace_arg) in
   let info =
     Cmd.info "experiments"
       ~doc:"Regenerate the paper's tables and figures (IPDPS 2004 heterogeneous assignment)"
@@ -89,6 +135,9 @@ let () =
       cmd_of "validate"
         "Re-run the paper benchmarks with the lib/check oracles forced on"
         run_validate;
+      cmd_of "metrics"
+        "Run the full benchmark grids and print every solver counter/gauge"
+        run_metrics;
       cmd_of "all" "Everything" run_all;
     ]
   in

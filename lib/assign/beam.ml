@@ -1,3 +1,5 @@
+let c_expansions = Obs.Counter.make "beam.expansions"
+
 let solve ?(width = 16) g table ~deadline =
   if width < 1 then invalid_arg "Beam.solve: width < 1";
   let n = Dfg.Graph.num_nodes g in
@@ -44,6 +46,7 @@ let solve ?(width = 16) g table ~deadline =
                 (List.init k (fun t -> t)))
             beam
         in
+        Obs.Counter.add c_expansions (List.length candidates);
         let ranked =
           (* the admissible suffix estimate is a constant offset within one
              level, so ranking by cost alone is equivalent; keep the

@@ -1,5 +1,9 @@
 type orientation = Forward | Transposed
 
+let c_repeat_runs = Obs.Counter.make "repeat.runs"
+let c_search_rounds = Obs.Counter.make "repeat_search.rounds"
+let c_search_candidates = Obs.Counter.make "repeat_search.candidates"
+
 let expand_oriented ?max_nodes orientation g =
   match orientation with
   | Forward -> Dfg.Expand.expand ?max_nodes g
@@ -103,6 +107,7 @@ let order_dups tree order dups =
 let repeat_with_order ?max_nodes ~order g table ~deadline =
   if deadline < 0 then None
   else begin
+    Obs.Counter.incr c_repeat_runs;
     let _, tree = choose_tree ?max_nodes g in
     let dups = order_dups tree order (Dfg.Expand.duplicated_nodes tree) in
     let n = Dfg.Graph.num_nodes g in
@@ -185,10 +190,12 @@ let repeat_search ?pool ?max_nodes g table ~deadline =
           ref (List.sort compare (Dfg.Expand.duplicated_nodes tree))
         in
         while !remaining <> [] do
+          Obs.Counter.incr c_search_rounds;
           match solve_copy () with
           | None -> raise Infeasible
           | Some (ta, _) ->
               let cands = Array.of_list !remaining in
+              Obs.Counter.add c_search_candidates (Array.length cands);
               let choice =
                 Array.map
                   (fun v ->

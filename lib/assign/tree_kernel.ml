@@ -1,5 +1,15 @@
 let infeasible = max_int
 
+(* Observability: one bump per unit of DP work, so the incremental
+   re-solve contract ([pin] dirties only an ancestor chain) is visible in
+   [Obs.Counter.snapshot] — kernel.rows counts every DP row computed,
+   kernel.dirty_rows only those recomputed because a pin dirtied them. *)
+let c_solves = Obs.Counter.make "kernel.solves"
+let c_rows = Obs.Counter.make "kernel.rows"
+let c_dirty_rows = Obs.Counter.make "kernel.dirty_rows"
+let c_pins = Obs.Counter.make "kernel.pins"
+let c_dirty_walk = Obs.Counter.make "kernel.dirty_ancestors"
+
 (* Flat, mutable DP state for [Tree_Assign] over a forest. All matrices are
    single int arrays in row-major [node * (deadline + 1) + budget] layout,
    allocated once at [create] and reused across re-solves. [pin] mutates
@@ -100,18 +110,23 @@ let compute_row t v =
 let ensure t =
   if t.unsolved then begin
     Array.iter (fun v -> compute_row t v) (Dfg.Graph.post_arr t.g);
+    Obs.Counter.add c_rows t.n;
     Array.fill t.dirty 0 t.n false;
     t.unsolved <- false;
     t.any_dirty <- false
   end
   else if t.any_dirty then begin
+    let recomputed = ref 0 in
     Array.iter
       (fun v ->
         if t.dirty.(v) then begin
           compute_row t v;
+          incr recomputed;
           t.dirty.(v) <- false
         end)
       (Dfg.Graph.post_arr t.g);
+    Obs.Counter.add c_rows !recomputed;
+    Obs.Counter.add c_dirty_rows !recomputed;
     t.any_dirty <- false
   end
 
@@ -124,14 +139,17 @@ let pin t ~node ~ftype =
   done;
   (* Dirty the node and its ancestors; the dirty set is closed under
      parents, so an already-dirty node ends the climb. *)
+  Obs.Counter.incr c_pins;
   let v = ref node in
   while !v >= 0 && not t.dirty.(!v) do
     t.dirty.(!v) <- true;
+    Obs.Counter.incr c_dirty_walk;
     v := t.parent.(!v)
   done;
   t.any_dirty <- true
 
 let solve t =
+  Obs.Counter.incr c_solves;
   ensure t;
   let w = t.deadline + 1 in
   let roots = Dfg.Graph.roots_arr t.g in

@@ -38,6 +38,9 @@ let () =
     | Failed r -> Some ("Check.Violation.Failed: " ^ summary r)
     | _ -> None)
 
+let c_reports = Obs.Counter.make "check.reports"
+let c_facts = Obs.Counter.make "check.facts"
+
 type builder = { mutable rev : t list; mutable facts : int }
 
 let builder () = { rev = []; facts = 0 }
@@ -51,4 +54,6 @@ let add b ?node code fmt =
     fmt
 
 let report b ~checker =
+  Obs.Counter.incr c_reports;
+  Obs.Counter.add c_facts b.facts;
   { checker; violations = List.rev b.rev; checked = b.facts }

@@ -34,9 +34,12 @@ let analyse g table a ~deadline =
      are small. *)
   let longest_avoiding v =
     let keep = List.filter (fun w -> w <> v) (List.init n (fun i -> i)) in
+    (* materialised once: [weight] below is called per node by the path
+       sweep, and [List.nth keep] inside it made this loop O(n^2) *)
+    let keep_arr = Array.of_list keep in
     let index = Hashtbl.create 16 in
     List.iteri (fun i w -> Hashtbl.replace index w i) keep;
-    let names = Array.of_list (List.map (Dfg.Graph.name g) keep) in
+    let names = Array.map (Dfg.Graph.name g) keep_arr in
     let edges =
       List.filter_map
         (fun { Dfg.Graph.src; dst; delay } ->
@@ -51,7 +54,7 @@ let analyse g table a ~deadline =
         (Dfg.Graph.edges g)
     in
     let sub = Dfg.Graph.of_edges ~names edges in
-    let weight i = time (List.nth keep i) in
+    let weight i = time keep_arr.(i) in
     Dfg.Paths.longest_path sub ~weight
   in
   let single_change_makespan v t =

@@ -18,6 +18,23 @@ let deadlines g table =
   let tmin = Synthesis.min_deadline g table in
   List.map (fun f -> int_of_float (ceil (float_of_int tmin *. f))) relaxations
 
+(* Indexing into the deadline ladder used to be a bare
+   [List.nth (deadlines g table) i] at every study site — raising
+   [Failure "nth"] with no clue which benchmark or index when a table
+   yields fewer steps. Compute the ladder once per benchmark and go
+   through this accessor instead. *)
+let nth_deadline ~name ds i =
+  match List.nth_opt ds i with
+  | Some d -> d
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Experiments.deadline_at: benchmark %S has %d deadline step(s), \
+            requested index %d"
+           name (List.length ds) i)
+
+let deadline_at ~name g table i = nth_deadline ~name (deadlines g table) i
+
 let benchmark_table ~seed g =
   let rng = Workloads.Prng.create seed in
   Workloads.Tables.for_graph rng ~library:Fulib.Library.standard3 g
@@ -31,6 +48,7 @@ let run_benchmark ?pool ~name ~seed ~algorithms g =
        baseline average_reduction is computed against";
   let pool = match pool with Some p -> p | None -> Par.Pool.global () in
   let table = benchmark_table ~seed g in
+  Obs.Span.with_ ("experiments.benchmark:" ^ name) @@ fun () ->
   (* the graph and table are shared read-only across domains below *)
   Dfg.Graph.preheat g;
   Fulib.Table.preheat table;
@@ -50,6 +68,11 @@ let run_benchmark ?pool ~name ~seed ~algorithms g =
   let cell_costs =
     Par.Pool.map_array pool
       (fun (deadline, algo) ->
+        Obs.Span.with_
+          (Printf.sprintf "cell:%s:%s:T=%d" name
+             (Synthesis.algorithm_name algo)
+             deadline)
+        @@ fun () ->
         match Synthesis.assign algo g table ~deadline with
         | None -> None
         | Some a ->
@@ -71,6 +94,8 @@ let run_benchmark ?pool ~name ~seed ~algorithms g =
     Par.Pool.map_array pool
       (fun di ->
         let deadline = ds.(di) in
+        Obs.Span.with_ (Printf.sprintf "row_config:%s:T=%d" name deadline)
+        @@ fun () ->
         match List.rev row_costs.(di) with
         | (last_algo, Some _) :: _ -> (
             match Synthesis.run last_algo g table ~deadline with
@@ -239,7 +264,7 @@ let ablation_expand () =
     List.map
       (fun (name, g) ->
         let table = benchmark_table ~seed:(seed_of_name name) g in
-        let deadline = List.nth (deadlines g table) 2 in
+        let deadline = deadline_at ~name g table 2 in
         let forward = Dfg.Expand.expand g in
         let transposed = Dfg.Expand.expand (Dfg.Transpose.transpose g) in
         let cost orientation =
@@ -301,6 +326,7 @@ let extension_refinement () =
     List.concat_map
       (fun (name, g) ->
         let table = benchmark_table ~seed:(seed_of_name name) g in
+        let ds = deadlines g table in
         List.filter_map
           (fun deadline ->
             let cost algo =
@@ -324,7 +350,7 @@ let extension_refinement () =
                 cost Synthesis.Repeat_refined;
                 exact;
               ])
-          [ List.nth (deadlines g table) 1; List.nth (deadlines g table) 3 ])
+          [ nth_deadline ~name ds 1; nth_deadline ~name ds 3 ])
       (Workloads.Filters.all ())
   in
   Report.render
@@ -338,7 +364,7 @@ let extension_schedulers () =
     List.filter_map
       (fun (name, g) ->
         let table = benchmark_table ~seed:(seed_of_name name) g in
-        let deadline = List.nth (deadlines g table) 2 in
+        let deadline = deadline_at ~name g table 2 in
         let run scheduler =
           match Synthesis.run ~scheduler Synthesis.Repeat g table ~deadline with
           | Some r ->
@@ -397,7 +423,7 @@ let extension_min_config () =
         if Dfg.Graph.num_nodes g > 20 then None
         else begin
           let table = benchmark_table ~seed:(seed_of_name name) g in
-          let deadline = List.nth (deadlines g table) 2 in
+          let deadline = deadline_at ~name g table 2 in
           match Synthesis.run Synthesis.Repeat g table ~deadline with
           | None -> None
           | Some r ->
@@ -437,7 +463,7 @@ let extension_heuristic_ladder () =
     List.map
       (fun (name, g) ->
         let table = benchmark_table ~seed:(seed_of_name name) g in
-        let deadline = List.nth (deadlines g table) 2 in
+        let deadline = deadline_at ~name g table 2 in
         name :: string_of_int deadline
         :: List.map
              (fun algo ->
@@ -461,8 +487,9 @@ let seed_sensitivity () =
         let reductions =
           List.filter_map
             (fun seed ->
+              (* each seed draws its own table, so the ladder is per seed *)
               let table = benchmark_table ~seed g in
-              let deadline = List.nth (deadlines g table) 2 in
+              let deadline = deadline_at ~name g table 2 in
               match
                 ( Synthesis.assign Synthesis.Greedy g table ~deadline,
                   Synthesis.assign Synthesis.Repeat g table ~deadline )
@@ -550,7 +577,10 @@ let extension_rotation () =
     List.filter_map
       (fun (name, g) ->
         let table = benchmark_table ~seed:(seed_of_name name) g in
-        match Synthesis.run Synthesis.Repeat g table ~deadline:(List.nth (deadlines g table) 2) with
+        match
+          Synthesis.run Synthesis.Repeat g table
+            ~deadline:(deadline_at ~name g table 2)
+        with
         | None -> None
         | Some r ->
             let a = r.Synthesis.assignment in

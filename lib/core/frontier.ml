@@ -9,6 +9,7 @@ let trace ?pool ?(algorithm = Synthesis.Repeat) g table ~max_deadline =
   if max_deadline < tmin then []
   else begin
     let pool = match pool with Some p -> p | None -> Par.Pool.global () in
+    Obs.Span.with_ "frontier.trace" @@ fun () ->
     Dfg.Graph.preheat g;
     Fulib.Table.preheat table;
     (* Every deadline's solve is independent; only the staircase filter is

@@ -73,25 +73,39 @@ let run ?(scheduler = List_scheduling) algorithm g table ~deadline =
         | List_scheduling -> Sched.Min_resource.run ~frames g table a ~deadline
         | Force_directed -> Sched.Force_directed.run ~frames g table a ~deadline)
   in
-  match assign algorithm g table ~deadline with
-  | None -> None
-  | Some assignment -> (
-      match schedule_with g table assignment ~deadline with
+  (* One span per pipeline phase: assign, then schedule (which derives the
+     configuration — its "phase.config" child), then validate. The
+     validate span is always present so traces show the phase ran, even
+     when HETSCHED_VALIDATE leaves it with nothing to audit. *)
+  Obs.Span.with_
+    (Printf.sprintf "synthesis.run:%s" (algorithm_name algorithm))
+    (fun () ->
+      match
+        Obs.Span.with_ "phase.assign" (fun () ->
+            assign algorithm g table ~deadline)
+      with
       | None -> None
-      | Some { Sched.Min_resource.schedule; config; lower_bound } ->
-          let r =
-            {
-              algorithm;
-              assignment;
-              cost = Assign.Assignment.total_cost table assignment;
-              makespan = Assign.Assignment.makespan g table assignment;
-              schedule;
-              config;
-              lower_bound;
-            }
-          in
-          if Check.Env.enabled () then validate g table ~deadline r;
-          Some r)
+      | Some assignment -> (
+          match
+            Obs.Span.with_ "phase.schedule" (fun () ->
+                schedule_with g table assignment ~deadline)
+          with
+          | None -> None
+          | Some { Sched.Min_resource.schedule; config; lower_bound } ->
+              let r =
+                {
+                  algorithm;
+                  assignment;
+                  cost = Assign.Assignment.total_cost table assignment;
+                  makespan = Assign.Assignment.makespan g table assignment;
+                  schedule;
+                  config;
+                  lower_bound;
+                }
+              in
+              Obs.Span.with_ "phase.validate" (fun () ->
+                  if Check.Env.enabled () then validate g table ~deadline r);
+              Some r))
 
 let pp_result ~graph ~table ppf r =
   let names = Dfg.Graph.names graph in

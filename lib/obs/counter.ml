@@ -1,0 +1,35 @@
+type t = { name : string; cell : int Atomic.t }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+let m = Mutex.create ()
+
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let make name =
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some c -> c
+      | None ->
+          let c = { name; cell = Atomic.make 0 } in
+          Hashtbl.replace registry name c;
+          c)
+
+let name c = c.name
+let incr c = ignore (Atomic.fetch_and_add c.cell 1)
+let add c n = ignore (Atomic.fetch_and_add c.cell n)
+let value c = Atomic.get c.cell
+
+let value_of name =
+  locked (fun () -> Option.map value (Hashtbl.find_opt registry name))
+
+let snapshot () =
+  let rows =
+    locked (fun () ->
+        Hashtbl.fold (fun name c acc -> (name, value c) :: acc) registry [])
+  in
+  List.sort compare rows
+
+let reset_all () =
+  locked (fun () -> Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) registry)

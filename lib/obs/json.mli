@@ -1,0 +1,38 @@
+(** Minimal JSON tree: enough to emit traces and bench rows and to read
+    them back ({!Trace}, [bin/bench_gate]). Not a general-purpose library
+    — no streaming, no number-precision guarantees beyond round-tripping
+    what {!to_string} itself emits. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact rendering. Non-finite floats (JSON has none) emit as [null];
+    whole floats may emit without a decimal point and therefore re-parse
+    as [Int]. *)
+val to_string : t -> string
+
+(** Strict parse of a complete document. [Error] carries an offset and a
+    reason. *)
+val parse : string -> (t, string) result
+
+exception Parse_error of string
+
+(** {!parse}, raising {!Parse_error}. *)
+val parse_exn : string -> t
+
+(** [member k (Obj fields)] is the first [k] binding; [None] on any other
+    constructor. *)
+val member : string -> t -> t option
+
+val to_list_opt : t -> t list option
+val to_string_opt : t -> string option
+val to_int_opt : t -> int option
+
+(** [Int] widens to float. *)
+val to_float_opt : t -> float option

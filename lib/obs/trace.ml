@@ -1,0 +1,47 @@
+let rec span_to_json (s : Span.t) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.String s.Span.name);
+      ("start_ns", Json.Float s.Span.start_ns);
+      ("dur_ns", Json.Float s.Span.dur_ns);
+      ("children", Json.List (List.map span_to_json s.Span.children));
+    ]
+
+let snapshot () =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (n, v) -> (n, Json.Int v)) (Counter.snapshot ())) );
+      ( "gauges",
+        Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) (Gauge.snapshot ()))
+      );
+      ( "spans",
+        Json.List
+          (List.map
+             (fun (domain, span) ->
+               Json.Obj
+                 [ ("domain", Json.Int domain); ("span", span_to_json span) ])
+             (Span.roots ())) );
+    ]
+
+let reset () =
+  Span.clear ();
+  Counter.reset_all ();
+  Gauge.reset_all ()
+
+let write ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string (snapshot ()));
+      output_char oc '\n')
+
+let finish ?path () =
+  if not (Env.trace_enabled ()) then None
+  else begin
+    let path = match path with Some p -> p | None -> Env.trace_path () in
+    write ~path;
+    Some path
+  end

@@ -1,0 +1,23 @@
+(** Trace assembly: the completed span roots plus a snapshot of every
+    counter and gauge, as one JSON document
+
+    {v
+    { "counters": {name: int, ...},
+      "gauges":   {name: int, ...},
+      "spans":    [{"domain": d, "span": {name, start_ns, dur_ns, children}}, ...] }
+    v} *)
+
+val span_to_json : Span.t -> Json.t
+
+val snapshot : unit -> Json.t
+
+(** Clear the span sink and zero all counters and gauges. *)
+val reset : unit -> unit
+
+(** Write {!snapshot} to [path]. *)
+val write : path:string -> unit
+
+(** When tracing is enabled, write the snapshot to [path] (default:
+    {!Env.trace_path}) and return where it went; [None] (and no write)
+    when tracing is off. CLI entry points call this once on the way out. *)
+val finish : ?path:string -> unit -> string option

@@ -4,6 +4,27 @@
 
 exception Nested_pool
 
+let c_batches = Obs.Counter.make "pool.batches"
+let c_tasks = Obs.Counter.make "pool.tasks"
+let g_domains = Obs.Gauge.make "pool.domains"
+
+(* per-domain task counts: [0] is the submitting domain, workers are 1.. *)
+let domain_task_counter =
+  let cache = Hashtbl.create 8 in
+  let m = Mutex.create () in
+  fun idx ->
+    Mutex.lock m;
+    let c =
+      match Hashtbl.find_opt cache idx with
+      | Some c -> c
+      | None ->
+          let c = Obs.Counter.make (Printf.sprintf "pool.tasks.domain%d" idx) in
+          Hashtbl.replace cache idx c;
+          c
+    in
+    Mutex.unlock m;
+    c
+
 type batch = {
   run : int -> unit;  (* must not raise: combinators capture per index *)
   count : int;
@@ -25,11 +46,13 @@ type t = {
 let in_task_key = Domain.DLS.new_key (fun () -> false)
 let in_task () = Domain.DLS.get in_task_key
 
-let exec_tasks t b =
+let exec_tasks ?(domain_counter = domain_task_counter 0) t b =
   let rec loop () =
     let i = Atomic.fetch_and_add b.next 1 in
     if i < b.count then begin
       b.run i;
+      Obs.Counter.incr c_tasks;
+      Obs.Counter.incr domain_counter;
       if Atomic.fetch_and_add b.unfinished (-1) = 1 then begin
         (* last task of the batch: wake the submitter *)
         Mutex.lock t.m;
@@ -41,7 +64,7 @@ let exec_tasks t b =
   in
   loop ()
 
-let rec worker_loop t seen =
+let rec worker_loop t ~domain_counter seen =
   Mutex.lock t.m;
   while (not t.stop) && t.epoch = seen do
     Condition.wait t.work t.m
@@ -49,8 +72,8 @@ let rec worker_loop t seen =
   let stop = t.stop and epoch = t.epoch and b = t.batch in
   Mutex.unlock t.m;
   if not stop then begin
-    (match b with Some b -> exec_tasks t b | None -> ());
-    worker_loop t epoch
+    (match b with Some b -> exec_tasks ~domain_counter t b | None -> ());
+    worker_loop t ~domain_counter epoch
   end
 
 let max_domains = 128
@@ -83,13 +106,15 @@ let create ?domains () =
       workers = [||];
     }
   in
+  Obs.Gauge.set g_domains size;
   if size > 1 then
     t.workers <-
-      Array.init (size - 1) (fun _ ->
+      Array.init (size - 1) (fun i ->
+          let domain_counter = domain_task_counter (i + 1) in
           Domain.spawn (fun () ->
               (* a worker domain only ever runs pool tasks *)
               Domain.DLS.set in_task_key true;
-              worker_loop t 0));
+              worker_loop t ~domain_counter 0));
   t
 
 let domain_count t = t.size
@@ -156,10 +181,15 @@ let set_global_domains d =
 (* [run] must not raise. *)
 let run_batch t ~count ~run =
   if count > 0 then begin
-    if t.size = 1 || in_task () then
+    Obs.Counter.incr c_batches;
+    if t.size = 1 || in_task () then begin
+      let domain_counter = domain_task_counter 0 in
       for i = 0 to count - 1 do
-        run i
+        run i;
+        Obs.Counter.incr c_tasks;
+        Obs.Counter.incr domain_counter
       done
+    end
     else begin
       Mutex.lock t.m;
       while (not t.stop) && t.batch <> None do
@@ -191,6 +221,15 @@ let run_batch t ~count ~run =
     end
   end
 
+(* Impossible-state reporting: these states mean the batch accounting
+   itself broke (a slot neither filled nor errored after the batch
+   drained), so a bare assertion would leave a field failure
+   undiagnosable. Name the combinator and the state instead. *)
+let invariant_violation fmt =
+  Printf.ksprintf
+    (fun s -> failwith ("Par.Pool: internal invariant violated: " ^ s))
+    fmt
+
 let reraise_first errors =
   Array.iter
     (function
@@ -211,7 +250,17 @@ let map_array t f arr =
         | v -> results.(i) <- Some v
         | exception e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
     reraise_first errors;
-    Array.map (function Some v -> v | None -> assert false) results
+    Array.mapi
+      (fun i r ->
+        match r with
+        | Some v -> v
+        | None ->
+            invariant_violation
+              "map_array: batch of %d tasks drained but slot %d holds \
+               neither a result nor an error (task body skipped or index \
+               raced past the batch count)"
+              n i)
+      results
   end
 
 let map_list t f l = Array.to_list (map_array t f (Array.of_list l))
@@ -220,7 +269,13 @@ let fanout t thunks = map_list t (fun f -> f ()) thunks
 let fanout2 t fa fb =
   match fanout t [ (fun () -> `A (fa ())); (fun () -> `B (fb ())) ] with
   | [ `A a; `B b ] -> (a, b)
-  | _ -> assert false
+  | results ->
+      invariant_violation
+        "fanout2: expected the order-preserving join [`A; `B], got %d \
+         result(s) %s (fanout returned out of submission order)"
+        (List.length results)
+        (String.concat ";"
+           (List.map (function `A _ -> "`A" | `B _ -> "`B") results))
 
 let parallel_for t ?chunk ~lo ~hi body =
   let len = hi - lo in

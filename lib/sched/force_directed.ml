@@ -4,7 +4,11 @@
    sweeps run over the cached topological/post order arrays and the flat
    time table rather than re-allocating lists per pass. *)
 
+let c_frames = Obs.Counter.make "force.frames"
+let c_fixings = Obs.Counter.make "force.fixings"
+
 let fixed_frames g table a ~deadline ~fixed =
+  Obs.Counter.incr c_frames;
   let n = Dfg.Graph.num_nodes g in
   let k = Fulib.Table.num_types table in
   let times = Fulib.Table.flat_times table in
@@ -95,6 +99,7 @@ let run ?frames g table a ~deadline =
             (match !best with
             | None -> ok := false
             | Some (_, v, s) ->
+                Obs.Counter.incr c_fixings;
                 fixed.(v) <- Some s;
                 unscheduled := List.filter (fun w -> w <> v) !unscheduled)
       done;
@@ -111,7 +116,9 @@ let run ?frames g table a ~deadline =
           Some
             {
               Min_resource.schedule;
-              config = Schedule.peak_usage table schedule;
+              config =
+                Obs.Span.with_ "phase.config" (fun () ->
+                    Schedule.peak_usage table schedule);
               lower_bound;
             }
         else None

@@ -33,6 +33,10 @@ module Pq = struct
         pop q
 end
 
+let c_pushes = Obs.Counter.make "min_config.pq_pushes"
+let c_pops = Obs.Counter.make "min_config.pq_pops"
+let c_probes = Obs.Counter.make "min_config.schedulability_probes"
+
 let solve ?weights ?budget g table a ~deadline =
   match Lower_bound.per_type g table a ~deadline with
   | None -> None
@@ -60,6 +64,7 @@ let solve ?weights ?budget g table a ~deadline =
         let key = Array.to_list c in
         if not (Hashtbl.mem seen key) then begin
           Hashtbl.replace seen key ();
+          Obs.Counter.incr c_pushes;
           Pq.push q (objective c) c
         end
       in
@@ -68,6 +73,8 @@ let solve ?weights ?budget g table a ~deadline =
         match Pq.pop q with
         | None -> None
         | Some (obj, c) -> (
+            Obs.Counter.incr c_pops;
+            Obs.Counter.incr c_probes;
             match Exact_schedule.schedule ?budget g table a ~config:c ~deadline with
             | Some s -> Some (c, s, obj)
             | None ->

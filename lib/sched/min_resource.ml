@@ -77,5 +77,10 @@ let run ?(pipelined = fun _ -> false) ?frames g table a ~deadline =
             List.iter (fun v -> if free_for v step then occupy v step) by_slack
           done;
           let schedule = { Schedule.start; assignment = Array.copy a } in
-          let config = Schedule.peak_usage ~pipelined table schedule in
+          (* the Min_FU configuration is derived from the finished
+             schedule's occupancy — this is the trace's "config" phase *)
+          let config =
+            Obs.Span.with_ "phase.config" (fun () ->
+                Schedule.peak_usage ~pipelined table schedule)
+          in
           Some { schedule; config; lower_bound })

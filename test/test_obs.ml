@@ -1,0 +1,240 @@
+(* lib/obs: span nesting and sink semantics, counter/gauge registries,
+   JSON emit/parse round-trips, trace assembly, counter parity across
+   pool widths, and the disabled-mode no-allocation contract. *)
+
+(* Every test that records spans forces tracing on via the override and
+   restores environment control on the way out, so the suite is
+   insensitive to HETSCHED_TRACE in the calling environment. *)
+let with_tracing on f =
+  Obs.Env.set_trace (Some on);
+  Fun.protect ~finally:(fun () -> Obs.Env.set_trace None) f
+
+let fresh () =
+  Obs.Span.clear ();
+  Obs.Counter.reset_all ();
+  Obs.Gauge.reset_all ()
+
+(* --- spans ------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  fresh ();
+  with_tracing true (fun () ->
+      let r =
+        Obs.Span.with_ "outer" (fun () ->
+            Obs.Span.with_ "mid" (fun () ->
+                Obs.Span.with_ "leaf1" (fun () -> ()));
+            Obs.Span.with_ "leaf2" (fun () -> 42))
+      in
+      Alcotest.(check int) "with_ returns f's value" 42 r);
+  match Obs.Span.roots () with
+  | [ (_, root) ] ->
+      Alcotest.(check string) "root name" "outer" root.Obs.Span.name;
+      Alcotest.(check int) "depth" 3 (Obs.Span.depth root);
+      Alcotest.(check int) "count" 4 (Obs.Span.count root);
+      Alcotest.(check (list string))
+        "children in open order" [ "mid"; "leaf2" ]
+        (List.map (fun s -> s.Obs.Span.name) root.Obs.Span.children);
+      (match Obs.Span.find "leaf1" root with
+      | Some s ->
+          Alcotest.(check bool) "leaf duration non-negative" true
+            (s.Obs.Span.dur_ns >= 0.0)
+      | None -> Alcotest.fail "leaf1 not found in span tree")
+  | roots ->
+      Alcotest.failf "expected exactly one root, got %d" (List.length roots)
+
+let test_span_exception_still_recorded () =
+  fresh ();
+  with_tracing true (fun () ->
+      match Obs.Span.with_ "boom" (fun () -> failwith "kept") with
+      | _ -> Alcotest.fail "exception swallowed"
+      | exception Failure msg -> Alcotest.(check string) "payload" "kept" msg);
+  Alcotest.(check int) "span recorded despite the raise" 1
+    (Obs.Span.sink_length ())
+
+(* Mutation-style check of the overhead contract: with tracing off, spans
+   run the closure but never touch the sink — if someone deletes the flag
+   check in [Span.with_], this fails. *)
+let test_disabled_spans_allocate_nothing () =
+  fresh ();
+  with_tracing false (fun () ->
+      Alcotest.(check bool) "enabled () reports off" false
+        (Obs.Span.enabled ());
+      let r =
+        Obs.Span.with_ "invisible" (fun () ->
+            Obs.Span.with_ "also-invisible" (fun () -> 7))
+      in
+      Alcotest.(check int) "closure still runs" 7 r);
+  Alcotest.(check int) "sink stayed empty" 0 (Obs.Span.sink_length ());
+  Alcotest.(check (list reject)) "no roots" [] (Obs.Span.roots ())
+
+(* --- counters and gauges ----------------------------------------------- *)
+
+let test_counter_monotonic () =
+  fresh ();
+  let c = Obs.Counter.make "test.obs.mono" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.Counter.value c);
+  let prev = ref (-1) in
+  for _ = 1 to 100 do
+    Obs.Counter.incr c;
+    let v = Obs.Counter.value c in
+    Alcotest.(check bool) "strictly increasing under incr" true (v > !prev);
+    prev := v
+  done;
+  Obs.Counter.add c 17;
+  Alcotest.(check int) "add accumulates" 117 (Obs.Counter.value c);
+  let c' = Obs.Counter.make "test.obs.mono" in
+  Obs.Counter.incr c';
+  Alcotest.(check int) "make is idempotent: same cell" 118 (Obs.Counter.value c);
+  Alcotest.(check (option int)) "value_of finds it" (Some 118)
+    (Obs.Counter.value_of "test.obs.mono");
+  Alcotest.(check bool) "snapshot carries it" true
+    (List.mem ("test.obs.mono", 118) (Obs.Counter.snapshot ()))
+
+let test_gauge_overwrites () =
+  fresh ();
+  let g = Obs.Gauge.make "test.obs.gauge" in
+  Obs.Gauge.set g 4;
+  Obs.Gauge.set g 2;
+  Alcotest.(check int) "last value wins" 2 (Obs.Gauge.value g);
+  Alcotest.(check (option int)) "by name" (Some 2)
+    (Obs.Gauge.value_of "test.obs.gauge")
+
+(* --- JSON -------------------------------------------------------------- *)
+
+let test_json_round_trip () =
+  let open Obs.Json in
+  let doc =
+    Obj
+      [
+        ("null", Null);
+        ("bools", List [ Bool true; Bool false ]);
+        ("ints", List [ Int 0; Int (-42); Int max_int ]);
+        ("floats", List [ Float 1.5; Float (-0.25); Float 1e9 ]);
+        ("string", String "quote \" backslash \\ newline \n tab \t unicode \xc3\xa9");
+        ("nested", Obj [ ("empty_list", List []); ("empty_obj", Obj []) ]);
+      ]
+  in
+  let s = to_string doc in
+  let reparsed = parse_exn s in
+  (* Whole floats may come back as Int — compare via re-emission, which is
+     the contract to_string actually makes. *)
+  Alcotest.(check string) "emit . parse . emit is stable" s
+    (to_string reparsed);
+  Alcotest.(check (option string))
+    "member survives" (Some "quote \" backslash \\ newline \n tab \t unicode \xc3\xa9")
+    (Option.bind (member "string" reparsed) to_string_opt);
+  (match parse "[1, 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated document accepted");
+  Alcotest.(check string) "\\uXXXX decodes" "é"
+    (match parse_exn {|"é"|} with
+    | String s -> s
+    | _ -> Alcotest.fail "not a string")
+
+let test_trace_round_trip () =
+  fresh ();
+  with_tracing true (fun () ->
+      Obs.Span.with_ "trace.root" (fun () ->
+          Obs.Span.with_ "trace.child" (fun () -> ())));
+  let c = Obs.Counter.make "test.obs.trace_counter" in
+  Obs.Counter.add c 5;
+  let json = Obs.Trace.snapshot () in
+  let reparsed = Obs.Json.parse_exn (Obs.Json.to_string json) in
+  Alcotest.(check (option int))
+    "counter survives the round trip" (Some 5)
+    (Option.bind
+       (Option.bind (Obs.Json.member "counters" reparsed)
+          (Obs.Json.member "test.obs.trace_counter"))
+       Obs.Json.to_int_opt);
+  let span_names =
+    match Option.bind (Obs.Json.member "spans" reparsed) Obs.Json.to_list_opt with
+    | Some entries ->
+        List.filter_map
+          (fun e ->
+            Option.bind
+              (Option.bind (Obs.Json.member "span" e)
+                 (Obs.Json.member "name"))
+              Obs.Json.to_string_opt)
+          entries
+    | None -> []
+  in
+  Alcotest.(check (list string)) "root span present" [ "trace.root" ] span_names
+
+(* --- counter parity across pool widths --------------------------------- *)
+
+(* The solver counters count units of work, not wall time; for a
+   deterministic workload the totals must be identical at any domain
+   count. Only the per-domain task-distribution counters may differ. *)
+let test_counter_parity_across_domains () =
+  let p1 = Par.Pool.create ~domains:1 () in
+  let p2 = Par.Pool.create ~domains:2 () in
+  let work pool =
+    let g = Workloads.Filters.diffeq () in
+    ignore
+      (Core.Experiments.run_benchmark ~pool ~name:"diffeq"
+         ~seed:(Core.Experiments.seed_of_name "diffeq")
+         ~algorithms:Core.Experiments.table2_algorithms g)
+  in
+  let stable snap =
+    List.filter
+      (fun (name, _) ->
+        not (String.length name >= 17 && String.sub name 0 17 = "pool.tasks.domain"))
+      snap
+  in
+  fresh ();
+  work p1;
+  let snap1 = stable (Obs.Counter.snapshot ()) in
+  fresh ();
+  work p2;
+  let snap2 = stable (Obs.Counter.snapshot ()) in
+  Par.Pool.shutdown p1;
+  Par.Pool.shutdown p2;
+  Alcotest.(check bool) "some kernel work was counted" true
+    (match List.assoc_opt "kernel.solves" snap1 with
+    | Some n -> n > 0
+    | None -> false);
+  Alcotest.(check (list (pair string int)))
+    "counters identical at 1 and 2 domains" snap1 snap2
+
+(* Spans recorded inside pool tasks land as per-domain roots, not
+   misattached under another domain's open span. *)
+let test_spans_from_pool_tasks () =
+  fresh ();
+  let pool = Par.Pool.create ~domains:2 () in
+  with_tracing true (fun () ->
+      ignore
+        (Par.Pool.map_array pool
+           (fun i -> Obs.Span.with_ "task" (fun () -> i * i))
+           (Array.init 8 (fun i -> i))));
+  Par.Pool.shutdown pool;
+  let roots = Obs.Span.roots () in
+  Alcotest.(check int) "one root per task" 8 (List.length roots);
+  List.iter
+    (fun (_, s) ->
+      Alcotest.(check string) "all named task" "task" s.Obs.Span.name)
+    roots
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          quick "nesting and depth" test_span_nesting;
+          quick "exception still recorded" test_span_exception_still_recorded;
+          quick "disabled mode records nothing" test_disabled_spans_allocate_nothing;
+          quick "pool tasks become per-domain roots" test_spans_from_pool_tasks;
+        ] );
+      ( "registries",
+        [
+          quick "counter monotonicity" test_counter_monotonic;
+          quick "gauge overwrite" test_gauge_overwrites;
+        ] );
+      ( "json",
+        [
+          quick "document round trip" test_json_round_trip;
+          quick "trace round trip" test_trace_round_trip;
+        ] );
+      ( "parity",
+        [ quick "1 vs 2 domains" test_counter_parity_across_domains ] );
+    ]
