@@ -1,0 +1,9 @@
+let () =
+  (match Obs.Json.parse "\"\\uZZZZ\"" with
+   | Ok _ -> print_endline "Ok"
+   | Error e -> print_endline ("Error: " ^ e)
+   | exception e -> print_endline ("ESCAPED: " ^ Printexc.to_string e));
+  (match Obs.Json.parse "\"\\u12G4\"" with
+   | Ok _ -> print_endline "Ok"
+   | Error e -> print_endline ("Error: " ^ e)
+   | exception e -> print_endline ("ESCAPED: " ^ Printexc.to_string e))
