@@ -54,7 +54,7 @@ let fig_tests =
 let algo_test g tbl ~deadline algo =
   Test.make
     ~name:(String.lowercase_ascii (Core.Synthesis.algorithm_name algo))
-    (Staged.stage (fun () -> Core.Synthesis.assign algo g tbl ~deadline))
+    (Staged.stage (fun () -> Assign.Solve.dispatch algo g tbl ~deadline))
 
 let benchmark_group algorithms (name, g) =
   let seed =
@@ -281,6 +281,42 @@ let par_tests =
          pair "batch-dfg" run_batch;
        ])
 
+(* --- Serve layer: request facade, cache hit vs cold solve -------------- *)
+
+(* The serve bench group prices the new entry points: a full
+   Core.Synthesis.solve through the request facade (cold), the same
+   request answered by a pre-warmed Serve.Cache (hit — should be digest
+   cost plus a hashtable probe), and the digest itself. *)
+let serve_tests =
+  let instance =
+    lazy
+      (let g = Workloads.Filters.elliptic () in
+       let tbl = table_for ~seed:7 g in
+       let deadline = mid_deadline g tbl in
+       Dfg.Graph.preheat g;
+       Fulib.Table.preheat tbl;
+       Core.Synthesis.request ~algorithm:Core.Synthesis.Repeat ~deadline g tbl)
+  in
+  let warmed =
+    lazy
+      (let req = Lazy.force instance in
+       let cache = Serve.Cache.create ~entries:16 () in
+       ignore (Serve.Cache.solve cache req);
+       (cache, req))
+  in
+  Test.make_grouped ~name:"serve"
+    [
+      Test.make ~name:"solve-cold"
+        (Staged.stage (fun () ->
+             Core.Synthesis.solve (Lazy.force instance)));
+      Test.make ~name:"cache-hit"
+        (Staged.stage (fun () ->
+             let cache, req = Lazy.force warmed in
+             Serve.Cache.solve cache req));
+      Test.make ~name:"digest"
+        (Staged.stage (fun () -> Serve.Cache.digest (Lazy.force instance)));
+    ]
+
 (* --- Observability overhead: the disabled-mode no-op contract --------- *)
 
 (* The obs layer claims near-zero cost when tracing is off: a span is one
@@ -410,6 +446,7 @@ let all_groups =
     ("scaling", scaling_tests);
     ("kernel", kernel_tests);
     ("par", par_tests);
+    ("serve", serve_tests);
     ("obs", obs_tests);
   ]
 

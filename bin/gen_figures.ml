@@ -43,7 +43,7 @@ let () =
               points =
                 List.filter_map
                   (fun d ->
-                    match Core.Synthesis.assign algo g table ~deadline:d with
+                    match Assign.Solve.dispatch algo g table ~deadline:d with
                     | Some a ->
                         Some
                           ( float_of_int d,
@@ -63,8 +63,8 @@ let () =
         List.filter_map
           (fun d ->
             match
-              ( Core.Synthesis.assign Core.Synthesis.Greedy g table ~deadline:d,
-                Core.Synthesis.assign Core.Synthesis.Repeat g table ~deadline:d )
+              ( Assign.Solve.dispatch Core.Synthesis.Greedy g table ~deadline:d,
+                Assign.Solve.dispatch Core.Synthesis.Repeat g table ~deadline:d )
             with
             | Some ga, Some ra ->
                 let gc = Assign.Assignment.total_cost table ga in

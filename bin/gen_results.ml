@@ -32,7 +32,11 @@ let () =
           let deadline = int_of_float (ceil (float_of_int tmin *. f)) in
           List.iter
             (fun algo ->
-              match Core.Synthesis.run algo g table ~deadline with
+              match
+                (Core.Synthesis.solve
+                   (Core.Synthesis.request ~algorithm:algo ~deadline g table))
+                  .Core.Synthesis.result
+              with
               | None ->
                   rows :=
                     [

@@ -107,10 +107,22 @@ let synth_cmd =
     let label = match file with Some p -> p | None -> name in
     Printf.printf "instance %s, deadline %d (minimum %d)\n" label deadline
       (Core.Synthesis.min_deadline g table);
-    match Core.Synthesis.run algo g table ~deadline with
-    | None -> print_endline "infeasible: no assignment meets the deadline"
-    | Some r ->
+    let resp =
+      Core.Synthesis.solve
+        (Core.Synthesis.request ~algorithm:algo ~deadline g table)
+    in
+    match (resp.Core.Synthesis.status, resp.Core.Synthesis.result) with
+    | Core.Synthesis.Ok, Some r ->
         Format.printf "%a@." (Core.Synthesis.pp_result ~graph:g ~table) r
+    | Core.Synthesis.Infeasible, _ ->
+        print_endline "infeasible: no assignment meets the deadline"
+    | Core.Synthesis.Timeout, _ -> print_endline "timeout: budget exhausted"
+    | Core.Synthesis.Error msg, _ ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    | Core.Synthesis.Ok, None ->
+        Printf.eprintf "error: ok status without a result\n";
+        exit 1
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Run assignment + minimum-resource scheduling")
@@ -176,7 +188,7 @@ let analyze_cmd =
           int_of_float
             (ceil (1.2 *. float_of_int (Core.Synthesis.min_deadline g table)))
     in
-    match Core.Synthesis.assign algo g table ~deadline with
+    match Assign.Solve.dispatch algo g table ~deadline with
     | None -> print_endline "infeasible"; exit 1
     | Some a ->
         Format.printf "%a@."
@@ -198,13 +210,89 @@ let gantt_cmd =
           int_of_float
             (ceil (1.2 *. float_of_int (Core.Synthesis.min_deadline g table)))
     in
-    match Core.Synthesis.run algo g table ~deadline with
+    match
+      (Core.Synthesis.solve
+         (Core.Synthesis.request ~algorithm:algo ~deadline g table))
+        .Core.Synthesis.result
+    with
     | None -> print_endline "infeasible"; exit 1
     | Some r -> print_string (Sched.Gantt.render ~graph:g ~table r.Core.Synthesis.schedule)
   in
   Cmd.v
     (Cmd.info "gantt" ~doc:"Render the bound schedule as an ASCII Gantt chart")
     Term.(const run $ benchmark_opt_arg $ seed_arg $ algo_arg $ deadline_arg $ file_arg)
+
+let serve_cmd =
+  let in_arg =
+    let doc = "Read JSONL requests from $(docv) ($(b,-) for stdin)." in
+    Arg.(value & opt string "-" & info [ "in"; "i" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Write JSONL responses to $(docv) ($(b,-) for stdout)." in
+    Arg.(value & opt string "-" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let domains_arg =
+    let doc = "Domain-pool size for sharded dispatch (default: HETSCHED_DOMAINS)." in
+    Arg.(value & opt (some int) None & info [ "domains" ] ~doc)
+  in
+  let cache_entries_arg =
+    let doc = "Result-cache capacity (default: HETSCHED_CACHE_ENTRIES or 512)." in
+    Arg.(value & opt (some int) None & info [ "cache-entries" ] ~doc)
+  in
+  let no_cache_arg =
+    let doc = "Disable the content-addressed result cache." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let queue_arg =
+    let doc = "Requests per dispatch wave (bounded queue capacity)." in
+    Arg.(value & opt int Serve.Server.default_queue_capacity
+         & info [ "queue" ] ~doc)
+  in
+  (* benchmark names resolve against the extended suite, so serve batches
+     can mix the paper's six with fir/iir/fft extension workloads *)
+  let lookup name ~seed =
+    Option.map
+      (fun g -> (g, table_for ~seed g))
+      (List.assoc_opt name (Workloads.Filters.extended ()))
+  in
+  let run input output domains cache_entries no_cache queue =
+    (match domains with
+    | Some n -> Par.Pool.set_global_domains n
+    | None -> ());
+    let cache =
+      if no_cache then Serve.Cache.create ~entries:1 ()
+      else Serve.Cache.create ?entries:cache_entries ()
+    in
+    let server = Serve.Server.create ~cache ~queue_capacity:queue () in
+    let with_input f =
+      if input = "-" then f stdin
+      else
+        let ic = open_in input in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+    in
+    let with_output f =
+      if output = "-" then f stdout
+      else
+        let oc = open_out output in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+    in
+    let served =
+      with_input @@ fun input ->
+      with_output @@ fun output -> Serve.Jsonl.serve ~lookup server ~input ~output
+    in
+    Printf.eprintf "served %d request(s)\n" served;
+    List.iter
+      (fun (name, v) ->
+        if String.length name >= 6 && String.sub name 0 6 = "serve." then
+          Printf.eprintf "  %s: %d\n" name v)
+      (Obs.Counter.snapshot ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Batch synthesis service: JSONL requests in, JSONL responses out \
+             (content-addressed cache, sharded over a domain pool)")
+    Term.(const run $ in_arg $ out_arg $ domains_arg $ cache_entries_arg
+          $ no_cache_arg $ queue_arg)
 
 let csv_cmd =
   let which =
@@ -226,4 +314,4 @@ let () =
     Cmd.info "hetsched"
       ~doc:"Heterogeneous FU assignment and scheduling for real-time DSP"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; dot_cmd; synth_cmd; frontier_cmd; netlist_cmd; csv_cmd; compile_cmd; gantt_cmd; analyze_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; dot_cmd; synth_cmd; frontier_cmd; netlist_cmd; csv_cmd; compile_cmd; gantt_cmd; analyze_cmd; serve_cmd ]))

@@ -25,12 +25,17 @@ let () =
   for step = 0 to 10 do
     let deadline = tmin + (step * (1 + (tmin / 10))) in
     let cost algo =
-      match Core.Synthesis.assign algo graph table ~deadline with
+      match Assign.Solve.dispatch algo graph table ~deadline with
       | Some a -> Printf.sprintf "%d" (Assign.Assignment.total_cost table a)
       | None -> "-"
     in
     let config =
-      match Core.Synthesis.run Core.Synthesis.Repeat graph table ~deadline with
+      match
+        (Core.Synthesis.solve
+           (Core.Synthesis.request ~algorithm:Core.Synthesis.Repeat ~deadline
+              graph table))
+          .Core.Synthesis.result
+      with
       | Some r ->
           Printf.sprintf "%s (%s)"
             (Sched.Config.to_string r.Core.Synthesis.config)

@@ -9,7 +9,12 @@ let () =
   let rng = Workloads.Prng.create 2027 in
   let table = Workloads.Tables.for_graph rng ~library:Fulib.Library.standard3 graph in
   let deadline = Core.Synthesis.min_deadline graph table + 4 in
-  match Core.Synthesis.run Core.Synthesis.Repeat graph table ~deadline with
+  match
+    (Core.Synthesis.solve
+       (Core.Synthesis.request ~algorithm:Core.Synthesis.Repeat ~deadline
+          graph table))
+      .Core.Synthesis.result
+  with
   | None -> print_endline "infeasible"
   | Some r ->
       Printf.printf "diffeq at T = %d: cost %d, config %s\n\n" deadline

@@ -36,7 +36,11 @@ let () =
     (Core.Synthesis.min_deadline graph table);
   List.iter
     (fun algo ->
-      match Core.Synthesis.run algo graph table ~deadline with
+      let resp =
+        Core.Synthesis.solve
+          (Core.Synthesis.request ~algorithm:algo ~deadline graph table)
+      in
+      match resp.Core.Synthesis.result with
       | None ->
           Printf.printf "%s: infeasible\n" (Core.Synthesis.algorithm_name algo)
       | Some r ->

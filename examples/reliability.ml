@@ -36,7 +36,7 @@ let () =
     (fun deadline ->
       List.iter
         (fun algo ->
-          match Core.Synthesis.assign algo graph table ~deadline with
+          match Assign.Solve.dispatch algo graph table ~deadline with
           | None ->
               Printf.printf "%6d  %12s %14s %14s %14s\n" deadline
                 (Core.Synthesis.algorithm_name algo) "-" "-" "-"

@@ -29,7 +29,12 @@ let () =
   let deadline = period + (period / 4) in
   Printf.printf "assignment at deadline %d:\n" deadline;
   let report name g =
-    match Core.Synthesis.run Core.Synthesis.Repeat g table ~deadline with
+    match
+      (Core.Synthesis.solve
+         (Core.Synthesis.request ~algorithm:Core.Synthesis.Repeat ~deadline g
+            table))
+        .Core.Synthesis.result
+    with
     | None -> Printf.printf "  %-9s infeasible\n" name
     | Some r ->
         Printf.printf "  %-9s cost %3d, makespan %2d, config %s\n" name

@@ -1,0 +1,58 @@
+type algorithm =
+  | Greedy
+  | Greedy_iterative
+  | Tree
+  | Once
+  | Repeat
+  | Repeat_search
+  | Repeat_refined
+  | Beam
+  | Exact
+
+let name = function
+  | Greedy -> "Greedy"
+  | Greedy_iterative -> "Greedy_Iter"
+  | Tree -> "Tree_Assign"
+  | Once -> "DFG_Assign_Once"
+  | Repeat -> "DFG_Assign_Repeat"
+  | Repeat_search -> "Repeat_Search"
+  | Repeat_refined -> "Repeat_Refined"
+  | Beam -> "Beam"
+  | Exact -> "Exact"
+
+let all =
+  [
+    Greedy; Greedy_iterative; Tree; Once; Repeat; Repeat_search;
+    Repeat_refined; Beam; Exact;
+  ]
+
+(* Bare constructor spellings accepted on the wire and the CLI in addition
+   to the display names. *)
+let short_name = function
+  | Greedy -> "greedy"
+  | Greedy_iterative -> "greedy_iterative"
+  | Tree -> "tree"
+  | Once -> "once"
+  | Repeat -> "repeat"
+  | Repeat_search -> "repeat_search"
+  | Repeat_refined -> "repeat_refined"
+  | Beam -> "beam"
+  | Exact -> "exact"
+
+let of_name s =
+  let s = String.lowercase_ascii (String.trim s) in
+  List.find_opt
+    (fun a -> s = String.lowercase_ascii (name a) || s = short_name a)
+    all
+
+let dispatch ?budget algorithm g table ~deadline =
+  match algorithm with
+  | Greedy -> Greedy.solve g table ~deadline
+  | Greedy_iterative -> Greedy.solve_iterative g table ~deadline
+  | Tree -> Option.map fst (Tree_assign.solve_auto g table ~deadline)
+  | Once -> Dfg_assign.once g table ~deadline
+  | Repeat -> Dfg_assign.repeat g table ~deadline
+  | Repeat_search -> Dfg_assign.repeat_search g table ~deadline
+  | Repeat_refined -> Local_search.repeat_plus g table ~deadline ~seed:1
+  | Beam -> Option.map fst (Beam.solve g table ~deadline)
+  | Exact -> Option.map fst (Exact.solve ?budget g table ~deadline)

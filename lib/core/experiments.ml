@@ -39,6 +39,14 @@ let benchmark_table ~seed g =
   let rng = Workloads.Prng.create seed in
   Workloads.Tables.for_graph rng ~library:Fulib.Library.standard3 g
 
+(* One (deadline, algorithm) grid cell, expressed as a first-class
+   synthesis request: Phase-1 solve, fail-fast audit under
+   HETSCHED_VALIDATE, cost of the produced assignment. *)
+let run_cell (req : Synthesis.request) =
+  Option.map
+    (Assign.Assignment.total_cost req.Synthesis.table)
+    (Synthesis.assign req)
+
 let run_benchmark ?pool ~name ~seed ~algorithms g =
   if algorithms = [] then
     invalid_arg "Experiments.run_benchmark: empty algorithm list";
@@ -73,17 +81,11 @@ let run_benchmark ?pool ~name ~seed ~algorithms g =
              (Synthesis.algorithm_name algo)
              deadline)
         @@ fun () ->
-        match Synthesis.assign algo g table ~deadline with
-        | None -> None
-        | Some a ->
-            let cost = Assign.Assignment.total_cost table a in
-            (* HETSCHED_VALIDATE: audit every grid cell with the
-               independent Phase-1 oracle, in 1- and multi-domain runs
-               alike (the flag is read inside the pool task) *)
-            if Check.Env.enabled () then
-              Check.Violation.raise_if_failed
-                (Check.Assignment.check ~expect_cost:cost g table a ~deadline);
-            Some cost)
+        (* HETSCHED_VALIDATE is folded in by Synthesis.assign: every grid
+           cell is audited with the independent Phase-1 oracle, in 1- and
+           multi-domain runs alike (the flag is read inside the pool
+           task) *)
+        run_cell (Synthesis.request ~algorithm:algo ~deadline g table))
       cells
   in
   let row_costs =
@@ -97,10 +99,24 @@ let run_benchmark ?pool ~name ~seed ~algorithms g =
         Obs.Span.with_ (Printf.sprintf "row_config:%s:T=%d" name deadline)
         @@ fun () ->
         match List.rev row_costs.(di) with
-        | (last_algo, Some _) :: _ -> (
-            match Synthesis.run last_algo g table ~deadline with
-            | Some r -> Some r.Synthesis.config
-            | None -> None)
+        | (last_algo, Some _) :: _ ->
+            let resp =
+              Synthesis.solve
+                (Synthesis.request ~algorithm:last_algo ~deadline g table)
+            in
+            (* keep the grid's fail-fast contract: a corrupt or crashed
+               per-row configuration solve raises instead of degrading to
+               a silent None *)
+            Check.Violation.raise_if_failed
+              {
+                Check.Violation.checker = "Core.Synthesis.solve";
+                violations = resp.Synthesis.violations;
+                checked = 0;
+              };
+            (match resp.Synthesis.status with
+            | Synthesis.Error msg -> failwith msg
+            | _ -> ());
+            Option.map (fun r -> r.Synthesis.config) resp.Synthesis.result
         | _ -> None)
       (Array.init (Array.length ds) Fun.id)
   in
@@ -230,7 +246,7 @@ let motivational () =
   add "";
   add "%s" (Format.asprintf "%a" (Fulib.Table.pp ~names:(Dfg.Graph.names g)) table);
   add "";
-  let describe label r =
+  let describe label (r : Synthesis.result) =
     add "%s (Figure 2%s):" (Synthesis.algorithm_name r.Synthesis.algorithm) label;
     add "  cost %d, makespan %d, configuration %s (naive: %s, lower bound %s)"
       r.Synthesis.cost r.Synthesis.makespan
@@ -246,11 +262,15 @@ let motivational () =
     add "%s"
       (Format.asprintf "%a" (Sched.Schedule.pp ~graph:g ~table) r.Synthesis.schedule)
   in
-  (match Synthesis.run Synthesis.Greedy g table ~deadline with
+  let solved algorithm =
+    (Synthesis.solve (Synthesis.request ~algorithm ~deadline g table))
+      .Synthesis.result
+  in
+  (match solved Synthesis.Greedy with
   | Some r -> describe "(a): greedy" r
   | None -> add "greedy: infeasible");
   add "";
-  (match Synthesis.run Synthesis.Exact g table ~deadline with
+  (match solved Synthesis.Exact with
   | Some r -> describe "(b): optimal" r
   | None -> add "optimal: infeasible");
   Buffer.contents buf
@@ -330,8 +350,10 @@ let extension_refinement () =
         List.filter_map
           (fun deadline ->
             let cost algo =
-              match Synthesis.assign algo g table ~deadline with
-              | Some a -> string_of_int (Assign.Assignment.total_cost table a)
+              match
+                run_cell (Synthesis.request ~algorithm:algo ~deadline g table)
+              with
+              | Some c -> string_of_int c
               | None -> "-"
             in
             let exact =
@@ -366,7 +388,12 @@ let extension_schedulers () =
         let table = benchmark_table ~seed:(seed_of_name name) g in
         let deadline = deadline_at ~name g table 2 in
         let run scheduler =
-          match Synthesis.run ~scheduler Synthesis.Repeat g table ~deadline with
+          match
+            (Synthesis.solve
+               (Synthesis.request ~scheduler ~algorithm:Synthesis.Repeat
+                  ~deadline g table))
+              .Synthesis.result
+          with
           | Some r ->
               Printf.sprintf "%s (%d)"
                 (Sched.Config.to_string r.Synthesis.config)
@@ -402,8 +429,12 @@ let extension_library_size () =
             let tmin = Synthesis.min_deadline g table in
             let deadline = tmin + (tmin / 2) in
             let cost =
-              match Synthesis.assign Synthesis.Repeat g table ~deadline with
-              | Some a -> string_of_int (Assign.Assignment.total_cost table a)
+              match
+                run_cell
+                  (Synthesis.request ~algorithm:Synthesis.Repeat ~deadline g
+                     table)
+              with
+              | Some c -> string_of_int c
               | None -> "-"
             in
             [ name; string_of_int levels; string_of_int deadline; cost ])
@@ -424,7 +455,12 @@ let extension_min_config () =
         else begin
           let table = benchmark_table ~seed:(seed_of_name name) g in
           let deadline = deadline_at ~name g table 2 in
-          match Synthesis.run Synthesis.Repeat g table ~deadline with
+          match
+            (Synthesis.solve
+               (Synthesis.request ~algorithm:Synthesis.Repeat ~deadline g
+                  table))
+              .Synthesis.result
+          with
           | None -> None
           | Some r ->
               let exact =
@@ -467,8 +503,11 @@ let extension_heuristic_ladder () =
         name :: string_of_int deadline
         :: List.map
              (fun algo ->
-               match Synthesis.assign algo g table ~deadline with
-               | Some a -> string_of_int (Assign.Assignment.total_cost table a)
+               match
+                 run_cell
+                   (Synthesis.request ~algorithm:algo ~deadline g table)
+               with
+               | Some c -> string_of_int c
                | None -> "-")
              algos)
       (Workloads.Filters.dags ())
@@ -491,12 +530,14 @@ let seed_sensitivity () =
               let table = benchmark_table ~seed g in
               let deadline = deadline_at ~name g table 2 in
               match
-                ( Synthesis.assign Synthesis.Greedy g table ~deadline,
-                  Synthesis.assign Synthesis.Repeat g table ~deadline )
+                ( run_cell
+                    (Synthesis.request ~algorithm:Synthesis.Greedy ~deadline g
+                       table),
+                  run_cell
+                    (Synthesis.request ~algorithm:Synthesis.Repeat ~deadline g
+                       table) )
               with
-              | Some ga, Some ra ->
-                  let gc = Assign.Assignment.total_cost table ga in
-                  let rc = Assign.Assignment.total_cost table ra in
+              | Some gc, Some rc ->
                   if gc > 0 then
                     Some (100.0 *. float_of_int (gc - rc) /. float_of_int gc)
                   else None
@@ -578,8 +619,10 @@ let extension_rotation () =
       (fun (name, g) ->
         let table = benchmark_table ~seed:(seed_of_name name) g in
         match
-          Synthesis.run Synthesis.Repeat g table
-            ~deadline:(deadline_at ~name g table 2)
+          (Synthesis.solve
+             (Synthesis.request ~algorithm:Synthesis.Repeat
+                ~deadline:(deadline_at ~name g table 2) g table))
+            .Synthesis.result
         with
         | None -> None
         | Some r ->

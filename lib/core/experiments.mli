@@ -41,6 +41,14 @@ val nth_deadline : name:string -> int list -> int -> int
     {!nth_deadline}. *)
 val deadline_at : name:string -> Dfg.Graph.t -> Fulib.Table.t -> int -> int
 
+(** One (deadline, algorithm) grid cell as a first-class
+    {!Synthesis.request}: the Phase-1 solve of the request (its scheduler
+    field is ignored) and the cost of the produced assignment, [None] when
+    infeasible. Validation follows {!Synthesis.assign}'s fail-fast
+    contract — under [HETSCHED_VALIDATE] (or [request.validate]) a corrupt
+    cell raises [Check.Violation.Failed]. *)
+val run_cell : Synthesis.request -> int option
+
 (** Run a benchmark with the given algorithms. [seed] feeds the time/cost
     table generator. The (deadline x algorithm) grid cells are independent
     solves and are evaluated on [pool] (default {!Par.Pool.global}); the
@@ -49,7 +57,7 @@ val deadline_at : name:string -> Dfg.Graph.t -> Fulib.Table.t -> int -> int
     [average_reduction] is computed against. When [Check.Env.enabled ()]
     (the [HETSCHED_VALIDATE] switch) every grid cell's assignment is
     audited with [Check.Assignment] and every per-row configuration solve
-    goes through {!Synthesis.run}'s full audit; the first corrupt cell
+    goes through {!Synthesis.solve}'s full audit; the first corrupt cell
     raises [Check.Violation.Failed] (re-raised deterministically from the
     lowest grid index under any domain count). *)
 val run_benchmark :

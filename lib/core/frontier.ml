@@ -18,7 +18,9 @@ let trace ?pool ?(algorithm = Synthesis.Repeat) g table ~max_deadline =
     let ds = Array.init (max_deadline - tmin + 1) (fun i -> tmin + i) in
     let solved =
       Par.Pool.map_array pool
-        (fun deadline -> Synthesis.run algorithm g table ~deadline)
+        (fun deadline ->
+          (Synthesis.solve (Synthesis.request ~algorithm ~deadline g table))
+            .Synthesis.result)
         ds
     in
     let best = ref max_int and acc = ref [] in

@@ -1,4 +1,4 @@
-type algorithm =
+type algorithm = Assign.Solve.algorithm =
   | Greedy
   | Greedy_iterative
   | Tree
@@ -9,31 +9,11 @@ type algorithm =
   | Beam
   | Exact
 
-let algorithm_name = function
-  | Greedy -> "Greedy"
-  | Greedy_iterative -> "Greedy_Iter"
-  | Tree -> "Tree_Assign"
-  | Once -> "DFG_Assign_Once"
-  | Repeat -> "DFG_Assign_Repeat"
-  | Repeat_search -> "Repeat_Search"
-  | Repeat_refined -> "Repeat_Refined"
-  | Beam -> "Beam"
-  | Exact -> "Exact"
+let algorithm_name = Assign.Solve.name
+let algorithm_of_name = Assign.Solve.of_name
+let all_algorithms = Assign.Solve.all
 
-let all_algorithms =
-  [ Greedy; Greedy_iterative; Tree; Once; Repeat; Repeat_search; Repeat_refined; Beam; Exact ]
-
-let assign algorithm g table ~deadline =
-  match algorithm with
-  | Greedy -> Assign.Greedy.solve g table ~deadline
-  | Greedy_iterative -> Assign.Greedy.solve_iterative g table ~deadline
-  | Tree -> Option.map fst (Assign.Tree_assign.solve_auto g table ~deadline)
-  | Once -> Assign.Dfg_assign.once g table ~deadline
-  | Repeat -> Assign.Dfg_assign.repeat g table ~deadline
-  | Repeat_search -> Assign.Dfg_assign.repeat_search g table ~deadline
-  | Repeat_refined -> Assign.Local_search.repeat_plus g table ~deadline ~seed:1
-  | Beam -> Option.map fst (Assign.Beam.solve g table ~deadline)
-  | Exact -> Option.map fst (Assign.Exact.solve g table ~deadline)
+type scheduler = List_scheduling | Force_directed
 
 type result = {
   algorithm : algorithm;
@@ -45,67 +25,257 @@ type result = {
   lower_bound : Sched.Config.t;
 }
 
+type request = {
+  graph : Dfg.Graph.t;
+  table : Fulib.Table.t;
+  deadline : int;
+  algorithm : algorithm;
+  scheduler : scheduler;
+  validate : bool;
+  trace : bool;
+  budget_ms : int option;
+}
+
+let request ?(scheduler = List_scheduling) ?(validate = false)
+    ?(trace = false) ?budget_ms ~algorithm ~deadline graph table =
+  { graph; table; deadline; algorithm; scheduler; validate; trace; budget_ms }
+
+type status = Ok | Infeasible | Timeout | Error of string
+
+type response = {
+  result : result option;
+  status : status;
+  violations : Check.Violation.t list;
+  stats : (string * int) list;
+}
+
 let min_deadline g table = Assign.Assignment.min_makespan g table
 
-type scheduler = List_scheduling | Force_directed
+(* --- request accounting ------------------------------------------------ *)
+
+let c_requests = Obs.Counter.make "synthesis.requests"
+let c_ok = Obs.Counter.make "synthesis.ok"
+let c_infeasible = Obs.Counter.make "synthesis.infeasible"
+let c_timeout = Obs.Counter.make "synthesis.timeout"
+let c_error = Obs.Counter.make "synthesis.error"
+
+let count_status = function
+  | Ok -> Obs.Counter.incr c_ok
+  | Infeasible -> Obs.Counter.incr c_infeasible
+  | Timeout -> Obs.Counter.incr c_timeout
+  | Error _ -> Obs.Counter.incr c_error
+
+(* --- budget handling ---------------------------------------------------- *)
+
+(* Exact is the one solver that can disappear into its search tree for
+   longer than any phase-boundary check can notice, and the one solver
+   with a cooperative node budget; translate milliseconds into expanded
+   nodes at a deliberately generous fixed rate so a budgeted Exact request
+   degrades to Timeout instead of wedging its pool worker. *)
+let exact_nodes_per_ms = 50_000
+
+let exact_budget req =
+  match (req.algorithm, req.budget_ms) with
+  | Exact, Some ms -> Some (max 1 (ms * exact_nodes_per_ms))
+  | _ -> None
+
+(* --- validation --------------------------------------------------------- *)
+
+let audit_reports g table ~deadline r =
+  [
+    Check.Assignment.check ~expect_cost:r.cost g table r.assignment ~deadline;
+    Check.Schedule.check ~assignment:r.assignment ~config:r.config g table
+      r.schedule ~deadline;
+    Check.Config.check table r.schedule ~config:r.config;
+  ]
 
 (* Independent audit of a finished synthesis result (HETSCHED_VALIDATE):
    Phase-1 path feasibility + recomputed cost, Phase-2 precedence /
    deadline / occupancy, and configuration coverage — all recomputed by
    lib/check with no call into the solvers that produced the result. *)
 let validate g table ~deadline r =
-  Check.Violation.raise_if_failed
-    (Check.Assignment.check ~expect_cost:r.cost g table r.assignment ~deadline);
-  Check.Violation.raise_if_failed
-    (Check.Schedule.check ~assignment:r.assignment ~config:r.config g table
-       r.schedule ~deadline);
-  Check.Violation.raise_if_failed
-    (Check.Config.check table r.schedule ~config:r.config)
+  List.iter Check.Violation.raise_if_failed (audit_reports g table ~deadline r)
 
-let run ?(scheduler = List_scheduling) algorithm g table ~deadline =
-  (* ASAP/ALAP starts are computed once per synthesis run and threaded
-     through the bound and the scheduler. *)
-  let schedule_with g table a ~deadline =
-    match Sched.Asap_alap.frames g table a ~deadline with
-    | None -> None
-    | Some frames -> (
-        match scheduler with
-        | List_scheduling -> Sched.Min_resource.run ~frames g table a ~deadline
-        | Force_directed -> Sched.Force_directed.run ~frames g table a ~deadline)
+(* --- the pipeline -------------------------------------------------------- *)
+
+let schedule_phase req assignment =
+  match
+    Sched.Asap_alap.frames req.graph req.table assignment
+      ~deadline:req.deadline
+  with
+  | None -> None
+  | Some frames -> (
+      match req.scheduler with
+      | List_scheduling ->
+          Sched.Min_resource.run ~frames req.graph req.table assignment
+            ~deadline:req.deadline
+      | Force_directed ->
+          Sched.Force_directed.run ~frames req.graph req.table assignment
+            ~deadline:req.deadline)
+
+let base_stats req = [ ("nodes", Dfg.Graph.num_nodes req.graph) ]
+
+let result_stats req r =
+  [
+    ("nodes", Dfg.Graph.num_nodes req.graph);
+    ("cost", r.cost);
+    ("makespan", r.makespan);
+    ("config_total", Sched.Config.total r.config);
+    ("lower_bound_total", Sched.Config.total r.lower_bound);
+  ]
+
+(* Two phases under one span each, with the cooperative budget checked at
+   every phase boundary (a started phase is never interrupted; [Some 0]
+   therefore times out before Phase 1 begins). Solver exceptions propagate
+   out of [solve_raw] — {!solve} is the catch-all boundary, {!run} the
+   re-raising shim. *)
+let solve_raw req =
+  let started = Unix.gettimeofday () in
+  let over_budget () =
+    match req.budget_ms with
+    | None -> false
+    | Some ms -> (Unix.gettimeofday () -. started) *. 1000.0 >= float_of_int ms
   in
-  (* One span per pipeline phase: assign, then schedule (which derives the
-     configuration — its "phase.config" child), then validate. The
-     validate span is always present so traces show the phase ran, even
-     when HETSCHED_VALIDATE leaves it with nothing to audit. *)
+  let finish status ?result ?(violations = []) stats =
+    count_status status;
+    { result; status; violations; stats }
+  in
+  Obs.Counter.incr c_requests;
   Obs.Span.with_
-    (Printf.sprintf "synthesis.run:%s" (algorithm_name algorithm))
+    (Printf.sprintf "synthesis.solve:%s" (algorithm_name req.algorithm))
     (fun () ->
-      match
-        Obs.Span.with_ "phase.assign" (fun () ->
-            assign algorithm g table ~deadline)
-      with
-      | None -> None
-      | Some assignment -> (
-          match
-            Obs.Span.with_ "phase.schedule" (fun () ->
-                schedule_with g table assignment ~deadline)
-          with
-          | None -> None
-          | Some { Sched.Min_resource.schedule; config; lower_bound } ->
-              let r =
-                {
-                  algorithm;
-                  assignment;
-                  cost = Assign.Assignment.total_cost table assignment;
-                  makespan = Assign.Assignment.makespan g table assignment;
-                  schedule;
-                  config;
-                  lower_bound;
-                }
-              in
-              Obs.Span.with_ "phase.validate" (fun () ->
-                  if Check.Env.enabled () then validate g table ~deadline r);
-              Some r))
+      if over_budget () then finish Timeout (base_stats req)
+      else
+        let assignment =
+          Obs.Span.with_ "phase.assign" (fun () ->
+              match
+                Assign.Solve.dispatch ?budget:(exact_budget req) req.algorithm
+                  req.graph req.table ~deadline:req.deadline
+              with
+              | a -> `Assigned a
+              | exception Assign.Exact.Budget_exhausted -> `Budget_exhausted)
+        in
+        match assignment with
+        | `Budget_exhausted -> finish Timeout (base_stats req)
+        | `Assigned None -> finish Infeasible (base_stats req)
+        | `Assigned (Some assignment) -> (
+            if over_budget () then finish Timeout (base_stats req)
+            else
+              match
+                Obs.Span.with_ "phase.schedule" (fun () ->
+                    schedule_phase req assignment)
+              with
+              | None -> finish Infeasible (base_stats req)
+              | Some { Sched.Min_resource.schedule; config; lower_bound } ->
+                  if over_budget () then finish Timeout (base_stats req)
+                  else
+                    let r =
+                      {
+                        algorithm = req.algorithm;
+                        assignment;
+                        cost =
+                          Assign.Assignment.total_cost req.table assignment;
+                        makespan =
+                          Assign.Assignment.makespan req.graph req.table
+                            assignment;
+                        schedule;
+                        config;
+                        lower_bound;
+                      }
+                    in
+                    (* The validate span is always present so traces show
+                       the phase ran, even when nothing asks for an
+                       audit. *)
+                    let audit =
+                      Obs.Span.with_ "phase.validate" (fun () ->
+                          if req.validate || Check.Env.enabled () then
+                            Some
+                              (audit_reports req.graph req.table
+                                 ~deadline:req.deadline r)
+                          else None)
+                    in
+                    (match audit with
+                    | None -> finish Ok ~result:r (result_stats req r)
+                    | Some reports ->
+                        let violations =
+                          List.concat_map
+                            (fun rep -> rep.Check.Violation.violations)
+                            reports
+                        in
+                        let checked =
+                          List.fold_left
+                            (fun acc rep -> acc + rep.Check.Violation.checked)
+                            0 reports
+                        in
+                        let stats =
+                          result_stats req r
+                          @ [
+                              ("checked", checked);
+                              ("violations", List.length violations);
+                            ]
+                        in
+                        if violations = [] then finish Ok ~result:r stats
+                        else
+                          finish
+                            (Error
+                               (Printf.sprintf
+                                  "validation failed: %d violation(s), \
+                                   first %s"
+                                  (List.length violations)
+                                  (List.hd violations).Check.Violation.code))
+                            ~result:r ~violations stats)))
+
+let with_trace req f =
+  if not req.trace then f ()
+  else begin
+    let saved = Obs.Env.get_trace () in
+    Obs.Env.set_trace (Some true);
+    Fun.protect ~finally:(fun () -> Obs.Env.set_trace saved) f
+  end
+
+let solve req =
+  with_trace req @@ fun () ->
+  try solve_raw req
+  with e ->
+    count_status (Error "");
+    {
+      result = None;
+      status = Error (Printexc.to_string e);
+      violations = [];
+      stats = base_stats req;
+    }
+
+(* Phase 1 only — the experiment grid's cell runner. Fail-fast audit (the
+   grid's historical contract): a corrupt assignment raises rather than
+   being folded into a response. *)
+let assign req =
+  match
+    Assign.Solve.dispatch ?budget:(exact_budget req) req.algorithm req.graph
+      req.table ~deadline:req.deadline
+  with
+  | None -> None
+  | Some a ->
+      if req.validate || Check.Env.enabled () then
+        Check.Violation.raise_if_failed
+          (Check.Assignment.check
+             ~expect_cost:(Assign.Assignment.total_cost req.table a)
+             req.graph req.table a ~deadline:req.deadline);
+      Some a
+
+(* Deprecated shim: the optional-argument entry point every caller used
+   before the request/response redesign. One release of grace. *)
+let run ?(scheduler = List_scheduling) algorithm g table ~deadline =
+  let resp =
+    solve_raw (request ~scheduler ~algorithm ~deadline g table)
+  in
+  (* re-raise a failed HETSCHED_VALIDATE audit, checker by checker, as the
+     pre-redesign [run] did *)
+  (match (resp.violations, resp.result) with
+  | _ :: _, Some r ->
+      List.iter Check.Violation.raise_if_failed
+        (audit_reports g table ~deadline r)
+  | _ -> ());
+  resp.result
 
 let pp_result ~graph ~table ppf r =
   let names = Dfg.Graph.names graph in

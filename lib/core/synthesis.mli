@@ -1,37 +1,36 @@
 (** One-call synthesis pipeline: Phase-1 assignment followed by Phase-2
-    minimum-resource scheduling, as in the paper's two-phase approach. *)
+    minimum-resource scheduling, as in the paper's two-phase approach.
 
-type algorithm =
-  | Greedy  (** baseline of Chang–Wang–Parhi (one-pass) *)
+    The service-grade entry point is {!solve}: a {!request} record in, a
+    {!response} record out, never an exception. The CLI, the experiment
+    grids, the Pareto sweeps and the batch server ([lib/serve]) all go
+    through it; {!run} survives only as a deprecated shim. *)
+
+(** The Phase-1 algorithm catalogue, owned by {!Assign.Solve} (the single
+    dispatch point); re-exported so existing [Core.Synthesis.Repeat]-style
+    constructors keep working. *)
+type algorithm = Assign.Solve.algorithm =
+  | Greedy
   | Greedy_iterative
-      (** extension: iterated best-single-move greedy (stronger baseline) *)
-  | Tree  (** [Tree_Assign]; requires a forest in either orientation *)
-  | Once  (** [DFG_Assign_Once] *)
-  | Repeat  (** [DFG_Assign_Repeat] — the paper's recommendation *)
+  | Tree
+  | Once
+  | Repeat
   | Repeat_search
-      (** extension: [Repeat] with a per-round parallel candidate search
-          over the remaining duplicated nodes
-          ([Assign.Dfg_assign.repeat_search]) *)
   | Repeat_refined
-      (** extension: [DFG_Assign_Repeat] followed by simulated-annealing
-          refinement ([Assign.Local_search], fixed seed) *)
-  | Beam  (** extension: beam search (width 16) over topological order *)
-  | Exact  (** branch-and-bound optimum; small graphs only *)
+  | Beam
+  | Exact
 
 val algorithm_name : algorithm -> string
+
+(** Case-insensitive inverse of {!algorithm_name}, also accepting bare
+    constructor spellings (["repeat"]); [None] on unknown names. *)
+val algorithm_of_name : string -> algorithm option
+
 val all_algorithms : algorithm list
 
 (** Phase-2 scheduler choice: the paper's revised list scheduling
     ([Min_FU_Scheduling]) or force-directed scheduling (extension). *)
 type scheduler = List_scheduling | Force_directed
-
-(** Phase 1 only. *)
-val assign :
-  algorithm ->
-  Dfg.Graph.t ->
-  Fulib.Table.t ->
-  deadline:int ->
-  Assign.Assignment.t option
 
 type result = {
   algorithm : algorithm;
@@ -43,19 +42,80 @@ type result = {
   lower_bound : Sched.Config.t;  (** [Lower_Bound_FU] configuration *)
 }
 
-(** [run ?scheduler algorithm g table ~deadline] performs both phases
-    (default scheduler: {!List_scheduling}). [None] when the deadline is
-    infeasible (or, for [Tree], when the graph is not a forest — that
-    raises [Invalid_argument] instead). When [Check.Env.enabled ()] (the
-    [HETSCHED_VALIDATE] switch) every produced result is audited with
-    {!validate} before it is returned. *)
-val run :
+(** One synthesis job. Build with {!request}; the record is exposed so
+    callers can pattern-match and the serve cache can digest it. *)
+type request = {
+  graph : Dfg.Graph.t;
+  table : Fulib.Table.t;
+  deadline : int;  (** timing constraint (control steps) *)
+  algorithm : algorithm;
+  scheduler : scheduler;
+  validate : bool;
+      (** audit the result with the [lib/check] oracles and report the
+          violations in the response (also forced on by
+          [HETSCHED_VALIDATE] / [Check.Env]) *)
+  trace : bool;
+      (** force span recording ({!Obs.Env.set_trace}) for the duration of
+          this request — process-global, meant for debugging a single
+          request, not for concurrent batches *)
+  budget_ms : int option;
+      (** wall-clock budget. Checked cooperatively at phase boundaries
+          (a started phase is never interrupted) and translated into a
+          search-node budget for {!Exact}; an exhausted budget yields
+          status {!Timeout}. [Some 0] times out deterministically before
+          Phase 1 starts. *)
+}
+
+(** [request ?scheduler ?validate ?trace ?budget_ms ~algorithm ~deadline
+    graph table] — defaults: {!List_scheduling}, no validation, no
+    tracing, no budget. *)
+val request :
   ?scheduler:scheduler ->
-  algorithm ->
+  ?validate:bool ->
+  ?trace:bool ->
+  ?budget_ms:int ->
+  algorithm:algorithm ->
+  deadline:int ->
   Dfg.Graph.t ->
   Fulib.Table.t ->
-  deadline:int ->
-  result option
+  request
+
+type status =
+  | Ok  (** a result was produced (and, if validated, audited clean) *)
+  | Infeasible  (** no assignment/schedule meets the deadline *)
+  | Timeout  (** the request's [budget_ms] was exhausted *)
+  | Error of string
+      (** a solver raised, or validation found violations (then
+          [result] still carries the corrupt artifact and [violations]
+          the audit trail) *)
+
+type response = {
+  result : result option;  (** [Some] iff status is [Ok] or a validation
+                               [Error]; [None] otherwise *)
+  status : status;
+  violations : Check.Violation.t list;
+      (** audit findings, empty unless validation ran and failed *)
+  stats : (string * int) list;
+      (** deterministic per-request facts — nodes, cost, makespan,
+          config/lower-bound totals, validated fact count. Never
+          wall-clock values: a cached response must be byte-identical to
+          a fresh solve (timings live in [Obs] spans instead). *)
+}
+
+(** Run both phases for one request. Never raises: solver exceptions
+    become status [Error], an exhausted budget becomes [Timeout], an
+    unmeetable deadline becomes [Infeasible]. Deterministic for a
+    deterministic request — two calls return structurally identical
+    responses, which is what makes the serve-layer cache sound. *)
+val solve : request -> response
+
+(** Phase 1 only, for the experiment grids: the request's assignment (its
+    [scheduler] is ignored). When validation is on (request flag or
+    [Check.Env]), the assignment is audited with [Check.Assignment] and
+    the first corrupt artifact raises [Check.Violation.Failed] — the
+    grid's historical fail-fast contract, unlike {!solve} which collects.
+    Solver exceptions propagate. *)
+val assign : request -> Assign.Assignment.t option
 
 (** Audit a result with the independent [lib/check] oracles — Phase-1 path
     feasibility and recomputed cost ([Check.Assignment]), Phase-2
@@ -74,3 +134,15 @@ val pp_result :
   Format.formatter ->
   result ->
   unit
+
+(** Legacy one-shot entry point, kept for one release as a shim over
+    {!solve}: [None] on [Infeasible]/[Timeout], re-raises solver errors
+    and validation failures. *)
+val run :
+  ?scheduler:scheduler ->
+  algorithm ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  deadline:int ->
+  result option
+[@@deprecated "use Core.Synthesis.solve (request -> response) instead"]

@@ -49,7 +49,11 @@ let compile ?(algorithm = Core.Synthesis.Repeat) ?deadline g table ~outdir =
         let tmin = Core.Synthesis.min_deadline g table in
         tmin + (tmin / 5)
   in
-  match Core.Synthesis.run algorithm g table ~deadline with
+  match
+    (Core.Synthesis.solve
+       (Core.Synthesis.request ~algorithm ~deadline g table))
+      .Core.Synthesis.result
+  with
   | None -> None
   | Some r ->
       mkdir_p outdir;

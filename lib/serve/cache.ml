@@ -1,0 +1,136 @@
+let hits = Obs.Counter.make "serve.cache.hit"
+let misses = Obs.Counter.make "serve.cache.miss"
+let stores = Obs.Counter.make "serve.cache.store"
+let evictions = Obs.Counter.make "serve.cache.evict"
+
+let default_entries = 512
+
+let entries_from_env ?(getenv = Sys.getenv_opt) () =
+  match getenv "HETSCHED_CACHE_ENTRIES" with
+  | None -> default_entries
+  | Some raw -> (
+      match int_of_string_opt (String.trim raw) with
+      | None -> default_entries
+      | Some n -> max 1 n)
+
+type entry = { response : Core.Synthesis.response; mutable used : int }
+
+type t = {
+  capacity : int;
+  table : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  lock : Mutex.t;
+}
+
+let create ?entries () =
+  let capacity =
+    match entries with Some n -> n | None -> entries_from_env ()
+  in
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Serve.Cache.create: entries %d < 1" capacity);
+  { capacity; table = Hashtbl.create 64; tick = 0; lock = Mutex.create () }
+
+let capacity t = t.capacity
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+let clear t = locked t (fun () -> Hashtbl.reset t.table)
+
+(* Canonical serialization of a request's semantic content. Everything that
+   can influence the response goes in; edge insertion order — which the
+   solvers never observe (they sweep the cached smallest-ready-first
+   topological orders) — is canonicalized away by sorting the edge set.
+   Node ids are the instance's identity (responses are node-indexed
+   arrays), so node order is NOT canonicalized; names/ops are cosmetic and
+   excluded, as is [trace] which only toggles span emission. *)
+let digest (req : Core.Synthesis.request) =
+  let g = req.Core.Synthesis.graph and table = req.Core.Synthesis.table in
+  let n = Dfg.Graph.num_nodes g in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "n=%d;" n);
+  let edges =
+    List.sort compare
+      (List.map
+         (fun { Dfg.Graph.src; dst; delay } -> (src, dst, delay))
+         (Dfg.Graph.edges g))
+  in
+  List.iter
+    (fun (src, dst, delay) ->
+      Buffer.add_string buf (Printf.sprintf "e%d,%d,%d;" src dst delay))
+    edges;
+  let k = Fulib.Table.num_types table in
+  Buffer.add_string buf (Printf.sprintf "k=%d;" k);
+  for v = 0 to n - 1 do
+    for ftype = 0 to k - 1 do
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%d;"
+           (Fulib.Table.time table ~node:v ~ftype)
+           (Fulib.Table.cost table ~node:v ~ftype))
+    done
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf "T=%d;a=%s;s=%s;v=%b;b=%s" req.Core.Synthesis.deadline
+       (Core.Synthesis.algorithm_name req.Core.Synthesis.algorithm)
+       (match req.Core.Synthesis.scheduler with
+       | Core.Synthesis.List_scheduling -> "list"
+       | Core.Synthesis.Force_directed -> "force")
+       req.Core.Synthesis.validate
+       (match req.Core.Synthesis.budget_ms with
+       | None -> "-"
+       | Some ms -> string_of_int ms));
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let find t req =
+  let key = digest req in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some entry ->
+          t.tick <- t.tick + 1;
+          entry.used <- t.tick;
+          Obs.Counter.incr hits;
+          Some entry.response
+      | None ->
+          Obs.Counter.incr misses;
+          None)
+
+let cacheable (resp : Core.Synthesis.response) =
+  match resp.Core.Synthesis.status with
+  | Core.Synthesis.Ok | Core.Synthesis.Infeasible -> true
+  | Core.Synthesis.Timeout | Core.Synthesis.Error _ -> false
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key entry ->
+      match !victim with
+      | Some (_, used) when used <= entry.used -> ()
+      | _ -> victim := Some (key, entry.used))
+    t.table;
+  match !victim with
+  | None -> ()
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      Obs.Counter.incr evictions
+
+let store t req resp =
+  if cacheable resp then begin
+    let key = digest req in
+    locked t (fun () ->
+        if not (Hashtbl.mem t.table key) then begin
+          if Hashtbl.length t.table >= t.capacity then evict_lru t;
+          t.tick <- t.tick + 1;
+          Hashtbl.replace t.table key { response = resp; used = t.tick };
+          Obs.Counter.incr stores
+        end)
+  end
+
+let solve t req =
+  match find t req with
+  | Some resp -> resp
+  | None ->
+      let resp = Core.Synthesis.solve req in
+      store t req resp;
+      resp

@@ -1,0 +1,72 @@
+(** Content-addressed LRU memo over synthesis responses.
+
+    Repeated instances dominate real batch traffic — the same filter at the
+    same deadline requested again and again. Because {!Core.Synthesis.solve}
+    is deterministic and its responses carry no wall-clock values, a
+    response can be memoized under a digest of the request's {e content}
+    and replayed byte-identically.
+
+    {2 The digest}
+
+    {!digest} hashes a canonical serialization of the request's semantic
+    content: node count, the {e sorted} edge set (src, dst, delay), the
+    time/cost table in row-major node order, and the deadline, algorithm,
+    scheduler, validate and budget fields. Sorting the edges makes the
+    digest independent of edge insertion order — two builders assembling
+    the same graph in different edge order collide into one cache entry
+    (adjacency order never changes what the solvers return: they sweep the
+    canonical smallest-ready-first topological orders, not raw adjacency).
+    Node ids are the instance's identity — responses index assignments and
+    schedules by node id — so node relabelings are deliberately {e not}
+    canonicalized. Node and op names are cosmetic and excluded.
+
+    [trace] is excluded too: it only controls span emission, never the
+    response.
+
+    {2 Policy}
+
+    Only [Ok] and [Infeasible] responses are cached — [Timeout] depends on
+    the wall clock and [Error] on transient state, neither is content.
+    Capacity defaults to [HETSCHED_CACHE_ENTRIES] (see {!entries_from_env});
+    eviction is least-recently-used. All operations are mutex-guarded and
+    safe to call from concurrent pool tasks. Hits, misses, stores and
+    evictions bump the [serve.cache.*] {!Obs.Counter}s. *)
+
+type t
+
+(** Capacity used when [HETSCHED_CACHE_ENTRIES] is unset: 512. *)
+val default_entries : int
+
+(** Resolve the capacity from the environment. [HETSCHED_CACHE_ENTRIES] is
+    trimmed and parsed as an integer: unset/empty/unparsable →
+    {!default_entries}; [< 1] → [1]. [?getenv] exists for tests. *)
+val entries_from_env : ?getenv:(string -> string option) -> unit -> int
+
+(** [create ?entries ()] — an empty cache holding at most [entries]
+    responses (default {!entries_from_env}). Raises [Invalid_argument]
+    when [entries < 1]. *)
+val create : ?entries:int -> unit -> t
+
+val capacity : t -> int
+
+(** Live entries. *)
+val length : t -> int
+
+val clear : t -> unit
+
+(** Canonical content digest of a request (hex, stable across processes). *)
+val digest : Core.Synthesis.request -> string
+
+(** [find t req] — the memoized response, bumping its recency; counts a
+    [serve.cache.hit] or [serve.cache.miss]. *)
+val find : t -> Core.Synthesis.request -> Core.Synthesis.response option
+
+(** [store t req resp] memoizes cacheable responses ([Ok]/[Infeasible]),
+    evicting the least-recently-used entry at capacity; [Timeout] and
+    [Error] responses are ignored. *)
+val store : t -> Core.Synthesis.request -> Core.Synthesis.response -> unit
+
+(** [solve t req] — {!find}, falling back to {!Core.Synthesis.solve} +
+    {!store}. The returned response is structurally identical whether it
+    was served from the cache or computed fresh. *)
+val solve : t -> Core.Synthesis.request -> Core.Synthesis.response

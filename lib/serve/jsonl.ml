@@ -1,0 +1,296 @@
+module J = Obs.Json
+
+type lookup = string -> seed:int -> (Dfg.Graph.t * Fulib.Table.t) option
+type item = { id : J.t; request : Core.Synthesis.request }
+
+let malformed = Obs.Counter.make "serve.jsonl.malformed"
+
+(* --- field accessors ------------------------------------------------- *)
+
+let field name json = J.member name json
+
+let string_field name json =
+  Option.bind (field name json) J.to_string_opt
+
+let int_field name json = Option.bind (field name json) J.to_int_opt
+let float_field name json = Option.bind (field name json) J.to_float_opt
+
+let bool_field name json =
+  match field name json with Some (J.Bool b) -> Some b | _ -> None
+
+(* --- instance parsing ------------------------------------------------ *)
+
+let parse_nodes json =
+  match J.to_list_opt json with
+  | None -> Error "graph.nodes must be a list"
+  | Some nodes ->
+      let n = List.length nodes in
+      let names = Array.make n "" and ops = Array.make n "op" in
+      let rec fill i = function
+        | [] -> Ok (names, ops)
+        | node :: rest -> (
+            match string_field "name" node with
+            | None -> Error (Printf.sprintf "graph.nodes[%d] needs a name" i)
+            | Some name ->
+                names.(i) <- name;
+                (match string_field "op" node with
+                | Some op -> ops.(i) <- op
+                | None -> ());
+                fill (i + 1) rest)
+      in
+      fill 0 nodes
+
+let parse_edges json =
+  match J.to_list_opt json with
+  | None -> Error "graph.edges must be a list"
+  | Some edges ->
+      let rec fill i acc = function
+        | [] -> Ok (List.rev acc)
+        | edge :: rest -> (
+            match Option.map (List.map J.to_int_opt) (J.to_list_opt edge) with
+            | Some [ Some src; Some dst ] ->
+                fill (i + 1) ({ Dfg.Graph.src; dst; delay = 0 } :: acc) rest
+            | Some [ Some src; Some dst; Some delay ] ->
+                fill (i + 1) ({ Dfg.Graph.src; dst; delay } :: acc) rest
+            | _ ->
+                Error
+                  (Printf.sprintf
+                     "graph.edges[%d] must be [src, dst] or [src, dst, delay]"
+                     i))
+      in
+      fill 0 [] edges
+
+let parse_graph json =
+  match (field "nodes" json, field "edges" json) with
+  | Some nodes, Some edges -> (
+      match (parse_nodes nodes, parse_edges edges) with
+      | Ok (names, ops), Ok edges -> (
+          try Ok (Dfg.Graph.of_edges ~names ~ops edges)
+          with Invalid_argument msg -> Error ("graph: " ^ msg))
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | _ -> Error "graph needs nodes and edges"
+
+let parse_matrix name json =
+  match Option.map (List.map J.to_list_opt) (J.to_list_opt json) with
+  | None -> Error (Printf.sprintf "table.%s must be a list of rows" name)
+  | Some rows ->
+      let rec fill acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | None :: _ ->
+            Error (Printf.sprintf "table.%s rows must be lists" name)
+        | Some row :: rest -> (
+            match
+              List.fold_right
+                (fun cell acc ->
+                  match (J.to_int_opt cell, acc) with
+                  | Some v, Some vs -> Some (v :: vs)
+                  | _ -> None)
+                row (Some [])
+            with
+            | None -> Error (Printf.sprintf "table.%s cells must be ints" name)
+            | Some row -> fill (Array.of_list row :: acc) rest)
+      in
+      fill [] rows
+
+let parse_table json =
+  match (field "types" json, field "time" json, field "cost" json) with
+  | Some types, Some time, Some cost -> (
+      match
+        Option.map (List.map J.to_string_opt) (J.to_list_opt types)
+      with
+      | None -> Error "table.types must be a list of strings"
+      | Some names ->
+          if List.exists Option.is_none names then
+            Error "table.types must be a list of strings"
+          else
+            let library =
+              Fulib.Library.make
+                (Array.of_list (List.filter_map Fun.id names))
+            in
+            (match (parse_matrix "time" time, parse_matrix "cost" cost) with
+            | Ok time, Ok cost -> (
+                try Ok (Fulib.Table.make ~library ~time ~cost)
+                with Invalid_argument msg -> Error ("table: " ^ msg))
+            | (Error _ as e), _ | _, (Error _ as e) -> e))
+  | _ -> Error "table needs types, time and cost"
+
+let parse_instance ?lookup json =
+  match string_field "benchmark" json with
+  | Some name -> (
+      let seed = Option.value (int_field "seed" json) ~default:42 in
+      match lookup with
+      | None -> Error "benchmark requests need a benchmark lookup"
+      | Some lookup -> (
+          match lookup name ~seed with
+          | Some instance -> Ok instance
+          | None -> Error (Printf.sprintf "unknown benchmark %S" name)))
+  | None -> (
+      match (field "graph" json, field "table" json) with
+      | Some graph, Some table -> (
+          match (parse_graph graph, parse_table table) with
+          | Ok g, Ok t -> Ok (g, t)
+          | (Error _ as e), _ | _, (Error _ as e) -> e)
+      | _ -> Error "request needs a benchmark or an inline graph + table")
+
+(* --- request parsing ------------------------------------------------- *)
+
+let parse_deadline json g table =
+  match (int_field "deadline" json, float_field "deadline_factor" json) with
+  | Some deadline, _ -> Ok deadline
+  | None, Some factor ->
+      let tmin = Core.Synthesis.min_deadline g table in
+      Ok (max tmin (int_of_float (factor *. float_of_int tmin)))
+  | None, None -> Error "request needs a deadline or a deadline_factor"
+
+let request_of_json ?lookup ~line json =
+  let id =
+    match field "id" json with
+    | Some (J.String _ as id) | Some (J.Int _ as id) -> id
+    | _ -> J.Int line
+  in
+  let ( let* ) = Result.bind in
+  let err msg = Error (id, msg) in
+  let lift = function Ok v -> Ok v | Error msg -> Error (id, msg) in
+  let result =
+    let* g, table = lift (parse_instance ?lookup json) in
+    let* deadline = lift (parse_deadline json g table) in
+    let* algorithm =
+      match string_field "algorithm" json with
+      | None -> Ok Assign.Solve.Repeat
+      | Some name -> (
+          match Assign.Solve.of_name name with
+          | Some a -> Ok a
+          | None -> err (Printf.sprintf "unknown algorithm %S" name))
+    in
+    let* scheduler =
+      match string_field "scheduler" json with
+      | None | Some "list" -> Ok Core.Synthesis.List_scheduling
+      | Some "force" -> Ok Core.Synthesis.Force_directed
+      | Some s -> err (Printf.sprintf "unknown scheduler %S" s)
+    in
+    let validate = Option.value (bool_field "validate" json) ~default:false in
+    let trace = Option.value (bool_field "trace" json) ~default:false in
+    let budget_ms = int_field "budget_ms" json in
+    Ok
+      {
+        id;
+        request =
+          Core.Synthesis.request ~scheduler ~validate ~trace ?budget_ms
+            ~algorithm ~deadline g table;
+      }
+  in
+  match result with
+  | Ok item -> Ok item
+  | Error (_, msg) -> Error msg
+
+let request_of_string ?lookup ~line s =
+  match J.parse s with
+  | Error msg -> Error ("malformed JSON: " ^ msg)
+  | Ok json -> request_of_json ?lookup ~line json
+
+(* --- response rendering ---------------------------------------------- *)
+
+let status_fields = function
+  | Core.Synthesis.Ok -> [ ("status", J.String "ok") ]
+  | Core.Synthesis.Infeasible -> [ ("status", J.String "infeasible") ]
+  | Core.Synthesis.Timeout -> [ ("status", J.String "timeout") ]
+  | Core.Synthesis.Error msg ->
+      [ ("status", J.String "error"); ("error", J.String msg) ]
+
+let config_json (c : Sched.Config.t) =
+  J.List (Array.to_list (Array.map (fun k -> J.Int k) c))
+
+let violation_json (v : Check.Violation.t) =
+  J.Obj
+    [
+      ("code", J.String v.Check.Violation.code);
+      ( "node",
+        match v.Check.Violation.node with
+        | Some n -> J.Int n
+        | None -> J.Null );
+      ("detail", J.String v.Check.Violation.detail);
+    ]
+
+let response_to_json ~id (resp : Core.Synthesis.response) =
+  let result_fields =
+    match resp.Core.Synthesis.result with
+    | None -> []
+    | Some r ->
+        [
+          ( "algorithm",
+            J.String (Core.Synthesis.algorithm_name r.Core.Synthesis.algorithm)
+          );
+          ("cost", J.Int r.Core.Synthesis.cost);
+          ("makespan", J.Int r.Core.Synthesis.makespan);
+          ("config", config_json r.Core.Synthesis.config);
+          ("lower_bound", config_json r.Core.Synthesis.lower_bound);
+        ]
+  in
+  J.Obj
+    ([ ("id", id) ]
+    @ status_fields resp.Core.Synthesis.status
+    @ result_fields
+    @ [
+        ( "violations",
+          J.List (List.map violation_json resp.Core.Synthesis.violations) );
+        ( "stats",
+          J.Obj
+            (List.map
+               (fun (k, v) -> (k, J.Int v))
+               resp.Core.Synthesis.stats) );
+      ])
+
+let response_to_string ~id resp = J.to_string (response_to_json ~id resp)
+
+let error_to_string ~id msg =
+  J.to_string
+    (J.Obj
+       [ ("id", id); ("status", J.String "error"); ("error", J.String msg) ])
+
+(* --- channel driver -------------------------------------------------- *)
+
+let read_lines input =
+  let rec loop line acc =
+    match input_line input with
+    | s -> loop (line + 1) ((line, s) :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  loop 1 []
+
+let serve ?lookup server ~input ~output =
+  let lines =
+    List.filter (fun (_, s) -> String.trim s <> "") (read_lines input)
+  in
+  let parsed =
+    List.map
+      (fun (line, s) ->
+        let r = request_of_string ?lookup ~line s in
+        (match r with
+        | Error _ -> Obs.Counter.incr malformed
+        | Ok _ -> ());
+        (line, r))
+      lines
+  in
+  let items = List.filter_map (function _, Ok item -> Some item | _ -> None) parsed in
+  let responses =
+    Server.solve_batch server (List.map (fun item -> item.request) items)
+  in
+  (* Stitch solved responses back into the original line order: [parsed]
+     and [responses] agree on the order of well-formed lines. *)
+  let rec emit count parsed responses =
+    match (parsed, responses) with
+    | [], [] -> count
+    | (line, Error msg) :: parsed, responses ->
+        output_string output (error_to_string ~id:(J.Int line) msg);
+        output_char output '\n';
+        emit (count + 1) parsed responses
+    | (_, Ok item) :: parsed, resp :: responses ->
+        output_string output (response_to_string ~id:item.id resp);
+        output_char output '\n';
+        emit (count + 1) parsed responses
+    | (_, Ok _) :: _, [] | [], _ :: _ ->
+        invalid_arg "Serve.Jsonl.serve: response count mismatch"
+  in
+  let count = emit 0 parsed responses in
+  flush output;
+  count

@@ -1,0 +1,74 @@
+(** JSONL wire format for the batch service: one request per input line,
+    one response per output line, same order.
+
+    {2 Request line}
+
+    {[
+      {"id": "fir-1", "benchmark": "fir16", "seed": 7,
+       "deadline_factor": 1.2, "algorithm": "repeat",
+       "scheduler": "list", "validate": true, "budget_ms": 500}
+    ]}
+
+    Fields:
+    - [id] (string or int, optional) — echoed in the response; defaults to
+      the 1-based line number.
+    - instance — either [benchmark] (+ optional [seed], default 42),
+      resolved through the caller-supplied [lookup]; or an inline [graph]
+      ([{"nodes": [{"name": "a", "op": "mul"}, ...],
+      "edges": [[src, dst, delay], ...]}]) with a [table]
+      ([{"types": ["P1", ...], "time": [[...], ...], "cost": [[...], ...]}],
+      node-major).
+    - deadline — [deadline] (absolute control steps) or [deadline_factor]
+      (multiplied by the instance's minimum feasible deadline, rounded
+      down, at least the minimum).
+    - [algorithm] (optional, default ["repeat"]) — any
+      {!Assign.Solve.of_name} spelling; [scheduler] (["list"] or
+      ["force"], default ["list"]); [validate] / [trace] (bools, default
+      false); [budget_ms] (optional).
+
+    {2 Response line}
+
+    {[
+      {"id": "fir-1", "status": "ok", "cost": 123, "makespan": 40,
+       "config": [2, 1, 1], "lower_bound": [1, 1, 1],
+       "stats": {"nodes": 31, ...}, "violations": []}
+    ]}
+
+    [status] is ["ok"], ["infeasible"], ["timeout"] or ["error"] (then an
+    ["error"] field carries the message). Result fields are present only
+    when there is a result. *)
+
+(** Resolves a [benchmark] name to an instance. *)
+type lookup = string -> seed:int -> (Dfg.Graph.t * Fulib.Table.t) option
+
+(** A parsed request plus the identity echoed into its response line. *)
+type item = { id : Obs.Json.t; request : Core.Synthesis.request }
+
+(** [request_of_json ?lookup ~line json] — [line] is the 1-based line
+    number used as the default [id]. [Error] describes the field at
+    fault. *)
+val request_of_json :
+  ?lookup:lookup -> line:int -> Obs.Json.t -> (item, string) result
+
+(** {!request_of_json} over a raw line ([Error] on malformed JSON too). *)
+val request_of_string :
+  ?lookup:lookup -> line:int -> string -> (item, string) result
+
+val response_to_json : id:Obs.Json.t -> Core.Synthesis.response -> Obs.Json.t
+
+(** Compact one-line rendering of {!response_to_json}. *)
+val response_to_string : id:Obs.Json.t -> Core.Synthesis.response -> string
+
+(** The error line emitted in place of a response when a request line
+    cannot be parsed: [{"id": ..., "status": "error", "error": msg}]. *)
+val error_to_string : id:Obs.Json.t -> string -> string
+
+(** [serve ?lookup server ~input ~output] — read request lines from
+    [input] until EOF, solve them through [server] in waves (batched via
+    {!Server.solve_batch}, sharded over the server's pool), and write one
+    response line per request line to [output], preserving line order.
+    Malformed lines produce ["error"] response lines in place without
+    disturbing their neighbours. Blank lines are skipped entirely.
+    Returns the number of response lines written. *)
+val serve :
+  ?lookup:lookup -> Server.t -> input:in_channel -> output:out_channel -> int

@@ -1,0 +1,65 @@
+(** Sharded batch dispatch: a bounded request queue drained over a domain
+    pool, fronted by the content-addressed {!Cache}.
+
+    A server owns nothing heavyweight — it borrows a {!Par.Pool} (defaulting
+    to [Par.Pool.global ()]) and a {!Cache.t}, and adds the batching
+    discipline: requests accumulate in a bounded queue and {!drain} fans the
+    queued batch over the pool's domains, returning responses in submission
+    order (the pool's joins are by index, never completion time).
+
+    Failure isolation: every request is solved under a handler that turns
+    any escaped exception into an [Error] response, so one poisoned request
+    can never take down the pool or the rest of its batch. Per-request
+    [budget_ms] is enforced inside {!Core.Synthesis.solve} (cooperative
+    phase-boundary deadlines), so an oversized request times out on its own
+    shard while its neighbours complete normally.
+
+    The queue is bounded and non-blocking by design: {!submit} raises
+    {!Queue_full} rather than blocking (the CLI driver is single-threaded —
+    a blocking submit with no concurrent drainer would deadlock). Callers
+    stream arbitrarily large workloads by alternating fill and {!drain},
+    which is exactly what {!solve_batch} and {!Jsonl.serve} do. *)
+
+type t
+
+exception Queue_full
+
+(** Queue capacity used by default: 256 requests per wave. *)
+val default_queue_capacity : int
+
+(** [create ?pool ?cache ?queue_capacity ()]. The pool defaults to
+    [Par.Pool.global ()]; the cache to a fresh [Cache.create ()] (pass an
+    explicit cache to share one across servers, or a capacity-1 cache to
+    effectively disable memoization). Raises [Invalid_argument] when
+    [queue_capacity < 1]. *)
+val create :
+  ?pool:Par.Pool.t -> ?cache:Cache.t -> ?queue_capacity:int -> unit -> t
+
+val pool : t -> Par.Pool.t
+val cache : t -> Cache.t
+val queue_capacity : t -> int
+
+(** Requests currently queued (not yet drained). *)
+val pending : t -> int
+
+(** Enqueue a request for the next {!drain}. Raises {!Queue_full} at
+    capacity. *)
+val submit : t -> Core.Synthesis.request -> unit
+
+(** Like {!submit} but returns [false] instead of raising. *)
+val try_submit : t -> Core.Synthesis.request -> bool
+
+(** Solve everything queued, in submission order, over the pool; the queue
+    is empty afterwards. Cache lookups happen on the solving shard; shared
+    graph/table lazies are preheated on the submitting domain first. *)
+val drain : t -> Core.Synthesis.response list
+
+(** [solve_batch t reqs] streams an arbitrarily long request list through
+    the bounded queue in capacity-sized waves and returns all responses in
+    input order. *)
+val solve_batch : t -> Core.Synthesis.request list -> Core.Synthesis.response list
+
+(** [guarded_solve t req] — cache-fronted solve of one request with the
+    failure-isolation handler applied; what each shard runs during
+    {!drain}. *)
+val guarded_solve : t -> Core.Synthesis.request -> Core.Synthesis.response

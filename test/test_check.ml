@@ -24,7 +24,12 @@ let bench_instances () =
     (Workloads.Filters.all ())
 
 let synthesize name g tbl ~deadline =
-  match Core.Synthesis.run Core.Synthesis.Repeat g tbl ~deadline with
+  match
+    (Core.Synthesis.solve
+       (Core.Synthesis.request ~algorithm:Core.Synthesis.Repeat ~deadline g
+          tbl))
+      .Core.Synthesis.result
+  with
   | Some r -> r
   | None -> Alcotest.failf "%s: synthesis infeasible at T=%d" name deadline
 
@@ -181,7 +186,12 @@ let mutations_on_random_dfgs =
       let tbl = Workloads.Tables.for_graph rng ~library:lib3 g in
       let tmin = Core.Synthesis.min_deadline g tbl in
       let deadline = tmin + (tmin / 3) in
-      match Core.Synthesis.run Core.Synthesis.Repeat g tbl ~deadline with
+      match
+        (Core.Synthesis.solve
+           (Core.Synthesis.request ~algorithm:Core.Synthesis.Repeat ~deadline
+              g tbl))
+          .Core.Synthesis.result
+      with
       | None -> QCheck.assume_fail ()
       | Some r ->
           validate_result "random" g tbl ~deadline r;

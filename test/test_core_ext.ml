@@ -276,7 +276,10 @@ let test_dvs_energy_falls_with_levels () =
     let rng = Workloads.Prng.create 7 in
     let tbl = Workloads.Tables.dvs rng ~levels g in
     let tmin = Core.Synthesis.min_deadline g tbl in
-    match Core.Synthesis.assign Core.Synthesis.Repeat g tbl ~deadline:(tmin + (tmin / 2)) with
+    match
+      Assign.Solve.dispatch Core.Synthesis.Repeat g tbl
+        ~deadline:(tmin + (tmin / 2))
+    with
     | Some a -> Assign.Assignment.total_cost tbl a
     | None -> Alcotest.fail "feasible"
   in

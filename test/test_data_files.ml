@@ -53,7 +53,12 @@ let test_files_synthesize () =
       match Netlist.load ~path with
       | g, Some table -> (
           let deadline = Core.Synthesis.min_deadline g table + 3 in
-          match Core.Synthesis.run Core.Synthesis.Repeat g table ~deadline with
+          match
+            (Core.Synthesis.solve
+               (Core.Synthesis.request ~algorithm:Core.Synthesis.Repeat
+                  ~deadline g table))
+              .Core.Synthesis.result
+          with
           | Some r ->
               Alcotest.(check bool) "valid schedule" true
                 (Sched.Schedule.respects_precedence g table r.Core.Synthesis.schedule)

@@ -219,7 +219,12 @@ let test_extension_benchmarks_synthesize () =
         let tmin = Assign.Assignment.min_makespan g tbl in
         tmin + (tmin / 4)
       in
-      match Core.Synthesis.run Core.Synthesis.Repeat g tbl ~deadline with
+      match
+        (Core.Synthesis.solve
+           (Core.Synthesis.request ~algorithm:Core.Synthesis.Repeat ~deadline
+              g tbl))
+          .Core.Synthesis.result
+      with
       | None -> Alcotest.failf "%s: synthesis failed" name
       | Some r ->
           Alcotest.(check bool)
@@ -236,8 +241,10 @@ let test_force_directed_scheduler_choice () =
   let tbl = Workloads.Tables.for_graph rng ~library:lib3 g in
   let deadline = Assign.Assignment.min_makespan g tbl + 4 in
   match
-    Core.Synthesis.run ~scheduler:Core.Synthesis.Force_directed
-      Core.Synthesis.Repeat g tbl ~deadline
+    (Core.Synthesis.solve
+       (Core.Synthesis.request ~scheduler:Core.Synthesis.Force_directed
+          ~algorithm:Core.Synthesis.Repeat ~deadline g tbl))
+      .Core.Synthesis.result
   with
   | None -> Alcotest.fail "force-directed pipeline"
   | Some r ->
@@ -250,7 +257,7 @@ let test_repeat_refined_algorithm () =
   let tbl = Workloads.Tables.for_graph rng ~library:lib3 g in
   let deadline = Assign.Assignment.min_makespan g tbl + 8 in
   let cost algo =
-    match Core.Synthesis.assign algo g tbl ~deadline with
+    match Assign.Solve.dispatch algo g tbl ~deadline with
     | Some a -> Assign.Assignment.total_cost tbl a
     | None -> Alcotest.fail "feasible"
   in

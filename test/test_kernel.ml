@@ -223,7 +223,12 @@ let test_synthesis_config_on_benchmarks () =
       let tbl = benchmark_table (name, g) in
       let tmin = Assign.Assignment.min_makespan g tbl in
       let deadline = tmin + (tmin / 4) in
-      match Core.Synthesis.run Core.Synthesis.Repeat g tbl ~deadline with
+      match
+        (Core.Synthesis.solve
+           (Core.Synthesis.request ~algorithm:Core.Synthesis.Repeat ~deadline
+              g tbl))
+          .Core.Synthesis.result
+      with
       | None ->
           Alcotest.failf "%s: synthesis infeasible at T=%d" name deadline
       | Some r ->

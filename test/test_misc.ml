@@ -99,7 +99,11 @@ let test_all_algorithms_run_on_diamond () =
   List.iter
     (fun algo ->
       if algo <> Core.Synthesis.Tree (* diamond is not a forest *) then
-        match Core.Synthesis.run algo g tbl ~deadline with
+        match
+          (Core.Synthesis.solve
+             (Core.Synthesis.request ~algorithm:algo ~deadline g tbl))
+            .Core.Synthesis.result
+        with
         | Some r ->
             Alcotest.(check bool)
               (Core.Synthesis.algorithm_name algo ^ " feasible")
@@ -120,7 +124,12 @@ let test_pp_result_mentions_everything () =
     table lib2
       [ ([ 1; 2 ], [ 6; 2 ]); ([ 2; 3 ], [ 7; 3 ]); ([ 2; 4 ], [ 8; 2 ]); ([ 1; 2 ], [ 5; 1 ]) ]
   in
-  match Core.Synthesis.run Core.Synthesis.Greedy g tbl ~deadline:6 with
+  match
+    (Core.Synthesis.solve
+       (Core.Synthesis.request ~algorithm:Core.Synthesis.Greedy ~deadline:6 g
+          tbl))
+      .Core.Synthesis.result
+  with
   | None -> Alcotest.fail "feasible"
   | Some r ->
       let s = Format.asprintf "%a" (Core.Synthesis.pp_result ~graph:g ~table:tbl) r in

@@ -19,7 +19,12 @@ let count_occurrences haystack needle =
 
 let synth g tbl =
   let deadline = Assign.Assignment.min_makespan g tbl + 3 in
-  match Core.Synthesis.run Core.Synthesis.Repeat g tbl ~deadline with
+  match
+    (Core.Synthesis.solve
+       (Core.Synthesis.request ~algorithm:Core.Synthesis.Repeat ~deadline g
+          tbl))
+      .Core.Synthesis.result
+  with
   | Some r -> r
   | None -> Alcotest.fail "synthesis failed"
 

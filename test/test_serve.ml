@@ -1,0 +1,414 @@
+(* The batch synthesis service: content-addressed cache (digest canonical
+   in edge order, byte-identical replay, LRU), bounded-queue server
+   (order, isolation, pool parity) and the JSONL wire format. *)
+
+let lib3 = Fulib.Library.standard3
+
+let table_for ~seed g =
+  let rng = Workloads.Prng.create seed in
+  Workloads.Tables.for_graph rng ~library:lib3 g
+
+let instance ~seed =
+  let rng = Workloads.Prng.create seed in
+  let g = Workloads.Random_dfg.random_dag rng ~n:14 ~extra_edges:4 in
+  let tbl = Workloads.Tables.random_tradeoff rng ~library:lib3 ~num_nodes:14 in
+  (g, tbl)
+
+let request ?scheduler ?validate ?budget_ms ?(algorithm = Core.Synthesis.Repeat)
+    ?(slack = 3) (g, tbl) =
+  let tmin = Core.Synthesis.min_deadline g tbl in
+  Core.Synthesis.request ?scheduler ?validate ?budget_ms ~algorithm
+    ~deadline:(tmin + slack) g tbl
+
+let counter name =
+  Option.value (Obs.Counter.value_of name) ~default:0
+
+(* --- digest ------------------------------------------------------------ *)
+
+let test_digest_deterministic () =
+  let req = request (instance ~seed:3) in
+  Alcotest.(check string)
+    "same request, same digest" (Serve.Cache.digest req)
+    (Serve.Cache.digest req);
+  let g, tbl = instance ~seed:4 in
+  Alcotest.(check bool)
+    "different instance, different digest" false
+    (Serve.Cache.digest req = Serve.Cache.digest (request (g, tbl)))
+
+let test_digest_sensitivity () =
+  let g, tbl = instance ~seed:5 in
+  let base = request (g, tbl) in
+  let d = Serve.Cache.digest base in
+  let differs label req =
+    Alcotest.(check bool) label false (Serve.Cache.digest req = d)
+  in
+  differs "deadline" (request ~slack:4 (g, tbl));
+  differs "algorithm" (request ~algorithm:Core.Synthesis.Greedy (g, tbl));
+  differs "scheduler" (request ~scheduler:Core.Synthesis.Force_directed (g, tbl));
+  differs "validate" (request ~validate:true (g, tbl));
+  differs "budget" (request ~budget_ms:1000 (g, tbl));
+  (* trace is excluded: it toggles span emission, never the response *)
+  Alcotest.(check string)
+    "trace ignored" d
+    (Serve.Cache.digest
+       { base with Core.Synthesis.trace = true })
+
+(* Satellite 3 regression: two builders assembling the same graph with
+   edges inserted in opposite orders are the same instance and must land
+   on the same cache entry. *)
+let diamond_edges =
+  [
+    { Dfg.Graph.src = 0; dst = 2; delay = 0 };
+    { Dfg.Graph.src = 1; dst = 2; delay = 0 };
+    { Dfg.Graph.src = 2; dst = 3; delay = 0 };
+    { Dfg.Graph.src = 2; dst = 4; delay = 0 };
+  ]
+
+let diamond edges =
+  Dfg.Graph.of_edges
+    ~names:[| "v1"; "v2"; "v3"; "v4"; "v5" |]
+    ~ops:[| "mul"; "mul"; "add"; "add"; "sub" |]
+    edges
+
+let test_digest_edge_order_canonical () =
+  let g_fwd = diamond diamond_edges in
+  let g_rev = diamond (List.rev diamond_edges) in
+  let tbl = table_for ~seed:12 g_fwd in
+  let req g = Core.Synthesis.request ~algorithm:Core.Synthesis.Repeat ~deadline:10 g tbl in
+  Alcotest.(check string)
+    "edge insertion order canonicalized"
+    (Serve.Cache.digest (req g_fwd))
+    (Serve.Cache.digest (req g_rev));
+  (* sanity: the two builds really are the same instance to the solvers *)
+  Alcotest.(check bool)
+    "fresh solves agree" true
+    (Core.Synthesis.solve (req g_fwd) = Core.Synthesis.solve (req g_rev));
+  let cache = Serve.Cache.create ~entries:8 () in
+  let hits0 = counter "serve.cache.hit" in
+  ignore (Serve.Cache.solve cache (req g_fwd));
+  let resp = Serve.Cache.solve cache (req g_rev) in
+  Alcotest.(check int) "second build hits" (hits0 + 1) (counter "serve.cache.hit");
+  Alcotest.(check bool)
+    "cached response equals fresh" true
+    (resp = Core.Synthesis.solve (req g_fwd))
+
+(* --- cache ------------------------------------------------------------- *)
+
+let test_cached_response_byte_identical () =
+  let req = request ~validate:true (instance ~seed:6) in
+  let cache = Serve.Cache.create ~entries:4 () in
+  let fresh = Serve.Cache.solve cache req in
+  let cached = Serve.Cache.solve cache req in
+  Alcotest.(check bool) "structurally identical" true (fresh = cached);
+  Alcotest.(check string)
+    "byte-identical on the wire"
+    (Serve.Jsonl.response_to_string ~id:(Obs.Json.Int 1) fresh)
+    (Serve.Jsonl.response_to_string ~id:(Obs.Json.Int 1) cached)
+
+let test_cache_hit_miss_counters () =
+  let cache = Serve.Cache.create ~entries:4 () in
+  let req = request (instance ~seed:7) in
+  let hits0 = counter "serve.cache.hit" and misses0 = counter "serve.cache.miss" in
+  ignore (Serve.Cache.solve cache req);
+  ignore (Serve.Cache.solve cache req);
+  ignore (Serve.Cache.solve cache req);
+  Alcotest.(check int) "one miss" (misses0 + 1) (counter "serve.cache.miss");
+  Alcotest.(check int) "two hits" (hits0 + 2) (counter "serve.cache.hit");
+  Alcotest.(check int) "one entry" 1 (Serve.Cache.length cache)
+
+let test_cache_lru_eviction () =
+  let cache = Serve.Cache.create ~entries:2 () in
+  Alcotest.(check int) "capacity" 2 (Serve.Cache.capacity cache);
+  let r1 = request (instance ~seed:8) in
+  let r2 = request (instance ~seed:9) in
+  let r3 = request (instance ~seed:10) in
+  let evict0 = counter "serve.cache.evict" in
+  ignore (Serve.Cache.solve cache r1);
+  ignore (Serve.Cache.solve cache r2);
+  ignore (Serve.Cache.solve cache r1) (* bump r1: r2 becomes the LRU *);
+  ignore (Serve.Cache.solve cache r3);
+  Alcotest.(check int) "one eviction" (evict0 + 1) (counter "serve.cache.evict");
+  Alcotest.(check int) "still full" 2 (Serve.Cache.length cache);
+  Alcotest.(check bool) "r1 survived (recently used)" true
+    (Option.is_some (Serve.Cache.find cache r1));
+  Alcotest.(check bool) "r2 evicted" false
+    (Option.is_some (Serve.Cache.find cache r2));
+  Serve.Cache.clear cache;
+  Alcotest.(check int) "cleared" 0 (Serve.Cache.length cache)
+
+let test_cache_skips_timeout () =
+  let cache = Serve.Cache.create ~entries:4 () in
+  let req = request ~budget_ms:0 (instance ~seed:11) in
+  let resp = Serve.Cache.solve cache req in
+  Alcotest.(check bool) "timed out" true
+    (resp.Core.Synthesis.status = Core.Synthesis.Timeout);
+  Alcotest.(check int) "not cached" 0 (Serve.Cache.length cache)
+
+let test_entries_from_env () =
+  let parse v =
+    Serve.Cache.entries_from_env
+      ~getenv:(fun _ -> v) ()
+  in
+  Alcotest.(check int) "unset" Serve.Cache.default_entries (parse None);
+  Alcotest.(check int) "empty" Serve.Cache.default_entries (parse (Some ""));
+  Alcotest.(check int) "junk" Serve.Cache.default_entries (parse (Some "junk"));
+  Alcotest.(check int) "trimmed" 7 (parse (Some " 7 "));
+  Alcotest.(check int) "zero clamps to 1" 1 (parse (Some "0"));
+  Alcotest.(check int) "negative clamps to 1" 1 (parse (Some "-3"))
+
+(* --- server ------------------------------------------------------------ *)
+
+let test_queue_bounds_and_order () =
+  Par.Pool.with_pool ~domains:1 @@ fun pool ->
+  let server = Serve.Server.create ~pool ~queue_capacity:2 () in
+  let r1 = request (instance ~seed:12) in
+  let r2 = request (instance ~seed:13) in
+  Serve.Server.submit server r1;
+  Serve.Server.submit server r2;
+  Alcotest.(check int) "pending" 2 (Serve.Server.pending server);
+  Alcotest.(check bool) "full" false (Serve.Server.try_submit server r1);
+  Alcotest.check_raises "submit raises" Serve.Server.Queue_full (fun () ->
+      Serve.Server.submit server r1);
+  let responses = Serve.Server.drain server in
+  Alcotest.(check int) "drained" 0 (Serve.Server.pending server);
+  Alcotest.(check bool)
+    "submission order" true
+    (responses = [ Core.Synthesis.solve r1; Core.Synthesis.solve r2 ])
+
+let test_solve_batch_waves () =
+  Par.Pool.with_pool ~domains:2 @@ fun pool ->
+  let server = Serve.Server.create ~pool ~queue_capacity:3 () in
+  let reqs = List.init 8 (fun i -> request (instance ~seed:(20 + i))) in
+  let responses = Serve.Server.solve_batch server reqs in
+  Alcotest.(check int) "all answered" 8 (List.length responses);
+  Alcotest.(check bool)
+    "matches sequential" true
+    (responses = List.map Core.Synthesis.solve reqs)
+
+let test_poisoned_request_isolated () =
+  (* deadline 0 with an over-budget neighbour: the batch must come back
+     [Ok; Timeout; Infeasible; Ok] with no exception escaping the pool *)
+  Par.Pool.with_pool ~domains:2 @@ fun pool ->
+  let server = Serve.Server.create ~pool () in
+  let ok1 = request (instance ~seed:30) in
+  let timeout = request ~budget_ms:0 (instance ~seed:31) in
+  let g, tbl = instance ~seed:32 in
+  let infeasible =
+    Core.Synthesis.request ~algorithm:Core.Synthesis.Repeat ~deadline:1 g tbl
+  in
+  let ok2 = request (instance ~seed:33) in
+  let statuses =
+    List.map
+      (fun r -> r.Core.Synthesis.status)
+      (Serve.Server.solve_batch server [ ok1; timeout; infeasible; ok2 ])
+  in
+  Alcotest.(check bool)
+    "ok / timeout / infeasible / ok" true
+    (statuses
+    = Core.Synthesis.[ Ok; Timeout; Infeasible; Ok ])
+
+(* --- qcheck differentials ---------------------------------------------- *)
+
+let qcheck_server_matches_sequential =
+  QCheck.Test.make ~count:15 ~name:"server batch == sequential solves"
+    QCheck.(pair (int_bound 1000) (int_bound 6))
+    (fun (seed, extra) ->
+      let reqs =
+        List.init (2 + extra) (fun i ->
+            request (instance ~seed:(seed + (17 * i))))
+      in
+      Par.Pool.with_pool ~domains:2 @@ fun pool ->
+      let server = Serve.Server.create ~pool ~queue_capacity:4 () in
+      Serve.Server.solve_batch server reqs = List.map Core.Synthesis.solve reqs)
+
+let qcheck_cache_parity =
+  QCheck.Test.make ~count:15 ~name:"cache on/off parity (with duplicates)"
+    (QCheck.int_bound 1000)
+    (fun seed ->
+      let base = List.init 3 (fun i -> request (instance ~seed:(seed + i))) in
+      let reqs = base @ base @ List.rev base in
+      Par.Pool.with_pool ~domains:1 @@ fun pool ->
+      let with_cache =
+        Serve.Server.create ~pool ~cache:(Serve.Cache.create ~entries:64 ()) ()
+      in
+      let without_cache =
+        Serve.Server.create ~pool ~cache:(Serve.Cache.create ~entries:1 ()) ()
+      in
+      Serve.Server.solve_batch with_cache reqs
+      = Serve.Server.solve_batch without_cache reqs)
+
+let qcheck_domain_parity =
+  QCheck.Test.make ~count:10 ~name:"domains 1 vs 4 parity"
+    (QCheck.int_bound 1000)
+    (fun seed ->
+      let reqs = List.init 6 (fun i -> request (instance ~seed:(seed + (7 * i)))) in
+      let solve_at domains =
+        Par.Pool.with_pool ~domains @@ fun pool ->
+        Serve.Server.solve_batch (Serve.Server.create ~pool ()) reqs
+      in
+      solve_at 1 = solve_at 4)
+
+let qcheck_timeout_neighbours_survive =
+  QCheck.Test.make ~count:10 ~name:"zero-budget request times out alone"
+    (QCheck.int_bound 1000)
+    (fun seed ->
+      let ok1 = request (instance ~seed) in
+      let huge = request ~budget_ms:0 (instance ~seed:(seed + 1)) in
+      let ok2 = request (instance ~seed:(seed + 2)) in
+      Par.Pool.with_pool ~domains:2 @@ fun pool ->
+      let server = Serve.Server.create ~pool () in
+      match Serve.Server.solve_batch server [ ok1; huge; ok2 ] with
+      | [ a; b; c ] ->
+          a.Core.Synthesis.status = Core.Synthesis.Ok
+          && b.Core.Synthesis.status = Core.Synthesis.Timeout
+          && c.Core.Synthesis.status = Core.Synthesis.Ok
+      | _ -> false)
+
+(* --- jsonl ------------------------------------------------------------- *)
+
+let inline_request_line =
+  {|{"id": "inline-1", "graph": {"nodes": [{"name": "a", "op": "mul"}, {"name": "b", "op": "add"}], "edges": [[0, 1]]}, "table": {"types": ["P1", "P2"], "time": [[1, 2], [1, 3]], "cost": [[9, 4], [8, 3]]}, "deadline": 6, "algorithm": "repeat", "validate": true}|}
+
+let test_jsonl_inline_round_trip () =
+  match Serve.Jsonl.request_of_string ~line:1 inline_request_line with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok item ->
+      Alcotest.(check bool) "id echoed" true
+        (item.Serve.Jsonl.id = Obs.Json.String "inline-1");
+      let req = item.Serve.Jsonl.request in
+      Alcotest.(check int) "deadline" 6 req.Core.Synthesis.deadline;
+      Alcotest.(check bool) "validate" true req.Core.Synthesis.validate;
+      Alcotest.(check int) "nodes" 2
+        (Dfg.Graph.num_nodes req.Core.Synthesis.graph);
+      let resp = Core.Synthesis.solve req in
+      let line = Serve.Jsonl.response_to_string ~id:item.Serve.Jsonl.id resp in
+      let json = Obs.Json.parse_exn line in
+      Alcotest.(check (option string))
+        "status ok" (Some "ok")
+        (Option.bind (Obs.Json.member "status" json) Obs.Json.to_string_opt);
+      Alcotest.(check (option string))
+        "id round-trips" (Some "inline-1")
+        (Option.bind (Obs.Json.member "id" json) Obs.Json.to_string_opt)
+
+let test_jsonl_parse_errors () =
+  let expect_error line s =
+    match Serve.Jsonl.request_of_string ~line s with
+    | Ok _ -> Alcotest.failf "expected an error for %s" s
+    | Error _ -> ()
+  in
+  expect_error 1 "{not json";
+  expect_error 2 {|{"deadline": 5}|};
+  expect_error 3 {|{"benchmark": "diffeq", "deadline": 5}|} (* no lookup *);
+  expect_error 4
+    {|{"graph": {"nodes": [{"name": "a"}], "edges": []}, "table": {"types": ["P1"], "time": [[1]], "cost": [[1]]}}|}
+    (* no deadline *)
+
+let lookup name ~seed =
+  Option.map
+    (fun g -> (g, table_for ~seed g))
+    (List.assoc_opt name (Workloads.Filters.extended ()))
+
+let test_jsonl_serve_channels () =
+  let lines =
+    [
+      {|{"benchmark": "diffeq", "deadline_factor": 1.3}|};
+      {|this is not json|};
+      {|{"benchmark": "no-such-filter", "deadline": 9}|};
+      "";
+      {|{"id": 7, "benchmark": "volterra", "seed": 5, "deadline_factor": 1.2, "algorithm": "greedy"}|};
+    ]
+  in
+  let dir = Filename.temp_file "serve" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let in_path = Filename.concat dir "in.jsonl" in
+  let out_path = Filename.concat dir "out.jsonl" in
+  let oc = open_out in_path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc;
+  Par.Pool.with_pool ~domains:2 (fun pool ->
+      let server = Serve.Server.create ~pool () in
+      let ic = open_in in_path and oc = open_out out_path in
+      let served =
+        Serve.Jsonl.serve ~lookup server ~input:ic ~output:oc
+      in
+      close_in ic;
+      close_out oc;
+      Alcotest.(check int) "blank line skipped, rest answered" 4 served);
+  let ic = open_in out_path in
+  let rec read acc =
+    match input_line ic with
+    | l -> read (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let out = read [] in
+  close_in ic;
+  let status l =
+    Option.bind
+      (Obs.Json.member "status" (Obs.Json.parse_exn l))
+      Obs.Json.to_string_opt
+  in
+  Alcotest.(check (list (option string)))
+    "statuses in line order"
+    [ Some "ok"; Some "error"; Some "error"; Some "ok" ]
+    (List.map status out);
+  (* default ids are 1-based input line numbers; explicit ids echo *)
+  let id l = Obs.Json.member "id" (Obs.Json.parse_exn l) in
+  Alcotest.(check bool) "line-number id" true
+    (id (List.nth out 0) = Some (Obs.Json.Int 1));
+  Alcotest.(check bool) "explicit id" true
+    (id (List.nth out 3) = Some (Obs.Json.Int 7));
+  Sys.remove in_path;
+  Sys.remove out_path;
+  Sys.rmdir dir
+
+(* --- run --------------------------------------------------------------- *)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "digest",
+        [
+          Alcotest.test_case "deterministic" `Quick test_digest_deterministic;
+          Alcotest.test_case "sensitivity" `Quick test_digest_sensitivity;
+          Alcotest.test_case "edge order canonical" `Quick
+            test_digest_edge_order_canonical;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "byte-identical replay" `Quick
+            test_cached_response_byte_identical;
+          Alcotest.test_case "hit/miss counters" `Quick
+            test_cache_hit_miss_counters;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "timeout not cached" `Quick
+            test_cache_skips_timeout;
+          Alcotest.test_case "HETSCHED_CACHE_ENTRIES" `Quick
+            test_entries_from_env;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "queue bounds and order" `Quick
+            test_queue_bounds_and_order;
+          Alcotest.test_case "solve_batch waves" `Quick test_solve_batch_waves;
+          Alcotest.test_case "poisoned request isolated" `Quick
+            test_poisoned_request_isolated;
+        ] );
+      ( "differential",
+        qsuite
+          [
+            qcheck_server_matches_sequential;
+            qcheck_cache_parity;
+            qcheck_domain_parity;
+            qcheck_timeout_neighbours_survive;
+          ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "inline round trip" `Quick
+            test_jsonl_inline_round_trip;
+          Alcotest.test_case "parse errors" `Quick test_jsonl_parse_errors;
+          Alcotest.test_case "serve channels" `Quick test_jsonl_serve_channels;
+        ] );
+    ]
