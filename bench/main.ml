@@ -317,6 +317,61 @@ let serve_tests =
         (Staged.stage (fun () -> Serve.Cache.digest (Lazy.force instance)));
     ]
 
+(* --- Memory dimension: capacity pruning vs unconstrained solves ------- *)
+
+(* Prices the memory model: the same sized random DAG solved with unbounded
+   capacities (the pre-memory fast path — must stay at its old cost), with
+   the tight preset (mask construction + residual pruning), and the two
+   accounting primitives the verdict and the oracle lean on. *)
+let mem_tests =
+  let instance =
+    lazy
+      (let rng = Workloads.Prng.create 31415 in
+       let g = Workloads.Random_dfg.random_dag rng ~n:60 ~extra_edges:12 in
+       let g = Workloads.Random_dfg.with_sizes rng g in
+       let tbl = table_for ~seed:31 g in
+       let deadline = mid_deadline g tbl in
+       (g, tbl, Workloads.Tables.mem_tight g tbl, deadline))
+  in
+  let solved =
+    lazy
+      (let g, tbl, _, deadline = Lazy.force instance in
+       match Assign.Dfg_assign.repeat g tbl ~deadline with
+       | Some a -> (
+           match Sched.Min_resource.run g tbl a ~deadline with
+           | Some { Sched.Min_resource.schedule; _ } ->
+               (g, tbl, a, schedule, Sched.Binding.bind tbl schedule)
+           | None -> failwith "bench: mem scheduling failed")
+       | None -> failwith "bench: mem assignment infeasible")
+  in
+  Test.make_grouped ~name:"mem"
+    [
+      Test.make ~name:"repeat-unbounded"
+        (Staged.stage (fun () ->
+             let g, tbl, _, deadline = Lazy.force instance in
+             Assign.Solve.run Assign.Solve.Repeat g tbl ~deadline));
+      Test.make ~name:"repeat-tight"
+        (Staged.stage (fun () ->
+             let g, _, tight, deadline = Lazy.force instance in
+             Assign.Solve.run Assign.Solve.Repeat g tight ~deadline));
+      Test.make ~name:"greedy-tight"
+        (Staged.stage (fun () ->
+             let g, _, tight, deadline = Lazy.force instance in
+             Assign.Solve.run Assign.Solve.Greedy g tight ~deadline));
+      Test.make ~name:"mem-loads"
+        (Staged.stage (fun () ->
+             let g, tbl, a, _, _ = Lazy.force solved in
+             Assign.Assignment.mem_loads g tbl a));
+      Test.make ~name:"peak-memory"
+        (Staged.stage (fun () ->
+             let g, tbl, _, schedule, binding = Lazy.force solved in
+             Sched.Binding.peak_memory ~graph:g tbl schedule binding));
+      Test.make ~name:"check-memory"
+        (Staged.stage (fun () ->
+             let g, tbl, _, schedule, binding = Lazy.force solved in
+             Check.Memory.check g tbl schedule binding));
+    ]
+
 (* --- Observability overhead: the disabled-mode no-op contract --------- *)
 
 (* The obs layer claims near-zero cost when tracing is off: a span is one
@@ -447,6 +502,7 @@ let all_groups =
     ("kernel", kernel_tests);
     ("par", par_tests);
     ("serve", serve_tests);
+    ("mem", mem_tests);
     ("obs", obs_tests);
   ]
 

@@ -116,6 +116,10 @@ let synth_cmd =
         Format.printf "%a@." (Core.Synthesis.pp_result ~graph:g ~table) r
     | Core.Synthesis.Infeasible, _ ->
         print_endline "infeasible: no assignment meets the deadline"
+    | Core.Synthesis.Infeasible_memory, _ ->
+        print_endline
+          "infeasible: per-FU memory capacity exceeded (deadline alone is \
+           meetable)"
     | Core.Synthesis.Timeout, _ -> print_endline "timeout: budget exhausted"
     | Core.Synthesis.Error msg, _ ->
         Printf.eprintf "error: %s\n" msg;
@@ -281,10 +285,25 @@ let serve_cmd =
       with_output @@ fun output -> Serve.Jsonl.serve ~lookup server ~input ~output
     in
     Printf.eprintf "served %d request(s)\n" served;
+    (* end-of-batch summary: the operational counters an operator actually
+       scans for, one fixed line each, then any remaining serve.* counters *)
+    let v name = Option.value (Obs.Counter.value_of name) ~default:0 in
+    Printf.eprintf "cache: %d hit(s), %d miss(es), %d eviction(s)\n"
+      (v "serve.cache.hit") (v "serve.cache.miss") (v "serve.cache.evict");
+    Printf.eprintf "malformed input lines: %d\n" (v "serve.jsonl.malformed");
+    let summarised =
+      [
+        "serve.cache.hit"; "serve.cache.miss"; "serve.cache.evict";
+        "serve.jsonl.malformed";
+      ]
+    in
     List.iter
       (fun (name, v) ->
-        if String.length name >= 6 && String.sub name 0 6 = "serve." then
-          Printf.eprintf "  %s: %d\n" name v)
+        if
+          String.length name >= 6
+          && String.sub name 0 6 = "serve."
+          && not (List.mem name summarised)
+        then Printf.eprintf "  %s: %d\n" name v)
       (Obs.Counter.snapshot ())
   in
   Cmd.v

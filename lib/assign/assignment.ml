@@ -31,6 +31,40 @@ let all_fastest table =
 let all_cheapest table =
   Array.init (Fulib.Table.num_nodes table) (Fulib.Table.min_cost_type table)
 
+(* --- Memory model ------------------------------------------------------
+   A node's footprint is the total data size of its outgoing edges (see
+   [Dfg.Graph.out_data]); an assignment loads each FU type with the sum of
+   footprints of the nodes placed on it, bounded by the library's per-type
+   capacity. *)
+
+let mem_constrained g table =
+  Fulib.Table.mem_bounded table && Dfg.Graph.has_data_sizes g
+
+let mem_loads g table a =
+  let k = Fulib.Table.num_types table in
+  let mem = Dfg.Graph.out_data_arr g in
+  let loads = Array.make k 0 in
+  Array.iteri (fun v t -> loads.(t) <- loads.(t) + mem.(v)) a;
+  loads
+
+let mem_feasible g table a =
+  let caps = Fulib.Table.mem_capacities table in
+  let loads = mem_loads g table a in
+  let ok = ref true in
+  Array.iteri (fun t load -> if load > caps.(t) then ok := false) loads;
+  !ok
+
+let transfer_cost g a =
+  let total = ref 0 in
+  for v = 0 to Dfg.Graph.num_nodes g - 1 do
+    List.iter
+      (fun (w, _, size) ->
+        total :=
+          !total + Dfg.Graph.transfer ~src_type:a.(v) ~dst_type:a.(w) ~size)
+      (Dfg.Graph.succs_sized g v)
+  done;
+  !total
+
 let min_makespan g table =
   Dfg.Paths.longest_path g ~weight:(Fulib.Table.min_time table)
 

@@ -26,6 +26,31 @@ val all_cheapest : Fulib.Table.t -> t
     the longest critical path under per-node minimum times. *)
 val min_makespan : Dfg.Graph.t -> Fulib.Table.t -> int
 
+(** {2 Memory model}
+
+    A node's footprint is the total data size over its outgoing edges
+    ({!Dfg.Graph.out_data}); an assignment loads each FU type with the sum
+    of footprints of the nodes placed on it, bounded by the library's
+    per-type capacity ({!Fulib.Library.mem_capacity}). *)
+
+(** [mem_constrained g table] is [true] when the memory dimension is
+    non-trivial: some edge carries data AND some type's capacity is
+    finite. When false, every assignment is trivially memory-feasible. *)
+val mem_constrained : Dfg.Graph.t -> Fulib.Table.t -> bool
+
+(** Per-type total footprint of the nodes assigned to each type. *)
+val mem_loads : Dfg.Graph.t -> Fulib.Table.t -> t -> int array
+
+(** [mem_feasible g table a] is [true] when every type's load is within its
+    capacity. *)
+val mem_feasible : Dfg.Graph.t -> Fulib.Table.t -> t -> bool
+
+(** [transfer_cost g a] is the total inter-FU data movement of [a]: the sum
+    of {!Dfg.Graph.transfer} over edges whose producer and consumer are
+    assigned different FU types. Reported alongside the system cost; not
+    part of the optimization objective. *)
+val transfer_cost : Dfg.Graph.t -> t -> int
+
 (** [validate g table a] raises [Invalid_argument] when [a]'s length or type
     indices do not match. *)
 val validate : Dfg.Graph.t -> Fulib.Table.t -> t -> unit

@@ -13,6 +13,9 @@ let solve ?(width = 16) g table ~deadline =
   if n = 0 then Some ([||], 0)
   else if Assignment.min_makespan g table > deadline then None
   else begin
+    let constrained = Assignment.mem_constrained g table in
+    let mem = Dfg.Graph.out_data_arr g in
+    let caps = Fulib.Table.mem_capacities table in
     let assigned = Array.make n false in
     (* optimistic makespan: assigned nodes use their chosen times, the rest
        their fastest *)
@@ -35,14 +38,31 @@ let solve ?(width = 16) g table ~deadline =
         assigned.(v) <- true;
         let candidates =
           List.concat_map
-            (fun (cost, a) ->
+            (fun (cost, a, loads) ->
               List.filter_map
                 (fun t ->
-                  let a' = Array.copy a in
-                  a'.(v) <- t;
-                  if feasible a' then
-                    Some (cost + Fulib.Table.cost table ~node:v ~ftype:t, a')
-                  else None)
+                  (* residual-memory cut: skip candidates that would push
+                     type [t] over capacity *)
+                  if constrained && loads.(t) + mem.(v) > caps.(t) then None
+                  else begin
+                    let a' = Array.copy a in
+                    a'.(v) <- t;
+                    if feasible a' then begin
+                      let loads' =
+                        if constrained then begin
+                          let l = Array.copy loads in
+                          l.(t) <- l.(t) + mem.(v);
+                          l
+                        end
+                        else loads
+                      in
+                      Some
+                        ( cost + Fulib.Table.cost table ~node:v ~ftype:t,
+                          a',
+                          loads' )
+                    end
+                    else None
+                  end)
                 (List.init k (fun t -> t)))
             beam
         in
@@ -52,7 +72,7 @@ let solve ?(width = 16) g table ~deadline =
              level, so ranking by cost alone is equivalent; keep the
              explicit bound for clarity *)
           List.sort
-            (fun (c, _) (c', _) ->
+            (fun (c, _, _) (c', _, _) ->
               compare
                 (c + min_cost_suffix.(i + 1))
                 (c' + min_cost_suffix.(i + 1)))
@@ -61,7 +81,7 @@ let solve ?(width = 16) g table ~deadline =
         step (i + 1) (take 0 ranked)
       end
     in
-    match step 0 [ (0, Array.make n 0) ] with
+    match step 0 [ (0, Array.make n 0, Array.make k 0) ] with
     | [] -> None
-    | (cost, a) :: _ -> Some (a, cost)
+    | (cost, a, _) :: _ -> Some (a, cost)
   end

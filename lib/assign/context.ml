@@ -37,14 +37,49 @@ let min_costs t = t.min_costs
 let time t ~node ~ftype = t.times.((node * t.k) + ftype)
 let cost t ~node ~ftype = t.costs.((node * t.k) + ftype)
 
+(* --- Memory model ------------------------------------------------------ *)
+
+let node_mem t = Dfg.Graph.out_data_arr t.graph
+let mem_capacities t = Fulib.Table.mem_capacities t.table
+let mem_constrained t = Assignment.mem_constrained t.graph t.table
+let mem_loads t a = Assignment.mem_loads t.graph t.table a
+let mem_feasible t a = Assignment.mem_feasible t.graph t.table a
+
+let mem_fits t ~loads ~node ~ftype =
+  loads.(ftype) + (node_mem t).(node) <= (mem_capacities t).(ftype)
+
+(* Per-node/type placement mask for the DP kernels: forbid any (v, t) whose
+   footprint alone exceeds t's capacity — such a placement can never be part
+   of a memory-feasible assignment, so its DP rows need not be built. [None]
+   when nothing is forbidden (in particular whenever unconstrained). *)
+let mem_forbid t =
+  if not (mem_constrained t) then None
+  else begin
+    let mem = node_mem t and caps = mem_capacities t in
+    let forbid = Array.make (t.n * t.k) false in
+    let any = ref false in
+    for v = 0 to t.n - 1 do
+      for ty = 0 to t.k - 1 do
+        if mem.(v) > caps.(ty) then begin
+          forbid.((v * t.k) + ty) <- true;
+          any := true
+        end
+      done
+    done;
+    if !any then Some forbid else None
+  end
+
 let tree_kernel t ~deadline =
   match t.kernel with
   | Some kr when Tree_kernel.deadline kr = deadline -> kr
   | _ ->
-      (* The kernel owns (and may pin) its tables, so hand it copies. *)
+      (* The kernel owns (and may pin) its tables, so hand it copies. The
+         memory placement mask rides along so memory-infeasible placements
+         never get DP rows (no-op when unconstrained). *)
       let kr =
-        Tree_kernel.create t.graph ~times:(Array.copy t.times)
-          ~costs:(Array.copy t.costs) ~k:t.k ~deadline
+        Tree_kernel.create ?forbid:(mem_forbid t) t.graph
+          ~times:(Array.copy t.times) ~costs:(Array.copy t.costs) ~k:t.k
+          ~deadline
       in
       t.kernel <- Some kr;
       kr

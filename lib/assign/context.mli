@@ -47,3 +47,31 @@ val dp_row : t -> deadline:int -> node:int -> int array
 (** All-fastest critical path (the smallest feasible deadline), from the
     cached minimum rows. *)
 val min_makespan : t -> int
+
+(** {2 Memory model}
+
+    Residual-memory tracking for the memory-aware solvers (see
+    {!Assignment.mem_loads} for the underlying per-type load model). *)
+
+(** Per-node memory footprints (read-only, from {!Dfg.Graph.out_data_arr}). *)
+val node_mem : t -> int array
+
+(** Per-type capacities (read-only, {!Fulib.Library.unbounded_mem} when
+    unconstrained). *)
+val mem_capacities : t -> int array
+
+(** [true] when the instance has both data sizes and a finite capacity. *)
+val mem_constrained : t -> bool
+
+val mem_loads : t -> Assignment.t -> int array
+val mem_feasible : t -> Assignment.t -> bool
+
+(** [mem_fits t ~loads ~node ~ftype]: would adding [node]'s footprint to
+    the running per-type [loads] keep [ftype] within capacity? The residual
+    check the greedy/beam/exact solvers make before a placement. *)
+val mem_fits : t -> loads:int array -> node:int -> ftype:int -> bool
+
+(** Per-node/type placement mask for the DP kernels ([node * num_types +
+    ftype] indexing): [true] forbids a placement whose footprint alone
+    exceeds the type's capacity. [None] when nothing is forbidden. *)
+val mem_forbid : t -> bool array option

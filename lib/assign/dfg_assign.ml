@@ -52,19 +52,45 @@ let project_flat table origin =
   done;
   (pt, pc)
 
-let tree_kernel tree table ~deadline =
+(* Placement mask for an expanded tree under the memory model: copy [i]
+   may not take a type whose capacity cannot even hold its ORIGINAL node's
+   footprint. Footprints come from the original graph [g] (the tree may be
+   transposed, which flips out-degrees), so the mask is projected through
+   [origin] exactly like the table rows. [None] when unconstrained. *)
+let project_forbid g table origin =
+  if not (Assignment.mem_constrained g table) then None
+  else begin
+    let k = Fulib.Table.num_types table in
+    let mem = Dfg.Graph.out_data_arr g in
+    let caps = Fulib.Table.mem_capacities table in
+    let tn = Array.length origin in
+    let forbid = Array.make (tn * k) false in
+    let any = ref false in
+    for i = 0 to tn - 1 do
+      for t = 0 to k - 1 do
+        if mem.(origin.(i)) > caps.(t) then begin
+          forbid.((i * k) + t) <- true;
+          any := true
+        end
+      done
+    done;
+    if !any then Some forbid else None
+  end
+
+let tree_kernel ?forbid tree table ~deadline =
   let times, costs = project_flat table tree.Dfg.Expand.origin in
-  Tree_kernel.create tree.Dfg.Expand.graph ~times ~costs
+  Tree_kernel.create ?forbid tree.Dfg.Expand.graph ~times ~costs
     ~k:(Fulib.Table.num_types table) ~deadline
 
-let solve_on_tree tree table ~deadline =
+let solve_on_tree ?forbid tree table ~deadline =
   if deadline < 0 then None
   else if Dfg.Graph.num_nodes tree.Dfg.Expand.graph = 0 then Some [||]
   else
-    Option.map fst (Tree_kernel.solve (tree_kernel tree table ~deadline))
+    Option.map fst (Tree_kernel.solve (tree_kernel ?forbid tree table ~deadline))
 
 let once_on_tree tree g table ~deadline =
-  match solve_on_tree tree table ~deadline with
+  let forbid = project_forbid g table tree.Dfg.Expand.origin in
+  match solve_on_tree ?forbid tree table ~deadline with
   | None -> None
   | Some ta ->
       let n = Dfg.Graph.num_nodes g in
@@ -116,7 +142,8 @@ let repeat_with_order ?max_nodes ~order g table ~deadline =
     try
       if n = 0 then Some [||]
       else begin
-        let kernel = tree_kernel tree table ~deadline in
+        let forbid = project_forbid g table tree.Dfg.Expand.origin in
+        let kernel = tree_kernel ?forbid tree table ~deadline in
         List.iter
           (fun v ->
             match Tree_kernel.solve kernel with
@@ -178,10 +205,11 @@ let repeat_search ?pool ?max_nodes g table ~deadline =
       let k = Fulib.Table.num_types table in
       (* master flat tables for the tree, pinned as winners are committed *)
       let times, costs = project_flat table tree.Dfg.Expand.origin in
+      let forbid = project_forbid g table tree.Dfg.Expand.origin in
       let solve_copy () =
         Tree_kernel.solve
-          (Tree_kernel.create tree.Dfg.Expand.graph ~times:(Array.copy times)
-             ~costs:(Array.copy costs) ~k ~deadline)
+          (Tree_kernel.create ?forbid tree.Dfg.Expand.graph
+             ~times:(Array.copy times) ~costs:(Array.copy costs) ~k ~deadline)
       in
       let a = Array.make n (-1) in
       let exception Infeasible in
@@ -213,8 +241,8 @@ let repeat_search ?pool ?max_nodes g table ~deadline =
                       tree.Dfg.Expand.copies.(v);
                     match
                       Tree_kernel.solve
-                        (Tree_kernel.create tree.Dfg.Expand.graph ~times:ct
-                           ~costs:cc ~k ~deadline)
+                        (Tree_kernel.create ?forbid tree.Dfg.Expand.graph
+                           ~times:ct ~costs:cc ~k ~deadline)
                     with
                     | None -> None
                     | Some (_, cost) -> Some cost)

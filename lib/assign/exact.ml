@@ -9,6 +9,12 @@ let solve ?(budget = 20_000_000) g table ~deadline =
   let min_costs = Fulib.Table.min_costs_arr table in
   let order = Dfg.Graph.topo_arr g in
   let current = Array.make n 0 in
+  (* Residual per-type memory loads of the nodes assigned so far; a branch
+     that would push a type over capacity is pruned before recursing. *)
+  let constrained = Assignment.mem_constrained g table in
+  let mem = Dfg.Graph.out_data_arr g in
+  let caps = Fulib.Table.mem_capacities table in
+  let loads = Array.make k 0 in
   (* Suffix sums of per-node minimum costs over the branching order, for the
      admissible cost bound. *)
   let min_cost_suffix = Array.make (n + 1) 0 in
@@ -40,11 +46,18 @@ let solve ?(budget = 20_000_000) g table ~deadline =
       let v = order.(i) in
       List.iter
         (fun t ->
-          current.(v) <- t;
-          assigned.(v) <- true;
-          let feasible = Dfg.Paths.longest_path g ~weight:time <= deadline in
-          if feasible then branch (i + 1) (cost_so_far + costs.((v * k) + t));
-          assigned.(v) <- false)
+          if (not constrained) || loads.(t) + mem.(v) <= caps.(t) then begin
+            current.(v) <- t;
+            assigned.(v) <- true;
+            loads.(t) <- loads.(t) + mem.(v);
+            let feasible =
+              Dfg.Paths.longest_path g ~weight:time <= deadline
+            in
+            if feasible then
+              branch (i + 1) (cost_so_far + costs.((v * k) + t));
+            assigned.(v) <- false;
+            loads.(t) <- loads.(t) - mem.(v)
+          end)
         (types_by_cost v)
     end
   in

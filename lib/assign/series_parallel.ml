@@ -230,7 +230,7 @@ let to_graph ~names expr =
                   List.iter
                     (fun l ->
                       List.iter
-                        (fun r -> edges := { Dfg.Graph.src = l; dst = r; delay = 0 } :: !edges)
+                        (fun r -> edges := { Dfg.Graph.src = l; dst = r; delay = 0; size = 0 } :: !edges)
                         r2)
                     leaves;
                   chain (roots, l2) tl

@@ -45,6 +45,18 @@ let of_name s =
     (fun a -> s = String.lowercase_ascii (name a) || s = short_name a)
     all
 
+let catalogue () =
+  String.concat ", "
+    (List.map (fun a -> Printf.sprintf "%s (%s)" (short_name a) (name a)) all)
+
+let of_name_result s =
+  match of_name s with
+  | Some a -> Ok a
+  | None ->
+      Error
+        (Printf.sprintf "unknown algorithm %S; valid algorithms: %s" s
+           (catalogue ()))
+
 let dispatch ?budget algorithm g table ~deadline =
   match algorithm with
   | Greedy -> Greedy.solve g table ~deadline
@@ -56,3 +68,28 @@ let dispatch ?budget algorithm g table ~deadline =
   | Repeat_refined -> Local_search.repeat_plus g table ~deadline ~seed:1
   | Beam -> Option.map fst (Beam.solve g table ~deadline)
   | Exact -> Option.map fst (Exact.solve ?budget g table ~deadline)
+
+type verdict =
+  | Feasible of Assignment.t
+  | Infeasible
+  | Infeasible_memory
+
+(* Central memory verdict: any returned assignment is post-checked against
+   the aggregate per-type loads (so a solver that was not taught the memory
+   model still can't emit an over-capacity result), and a failure is
+   labelled [Infeasible_memory] exactly when dropping the memory constraint
+   alone would leave the instance feasible — i.e. the deadline is met by
+   the all-fastest relaxation but memory is bounded and in the way. *)
+let run ?budget algorithm g table ~deadline =
+  let constrained = Assignment.mem_constrained g table in
+  match dispatch ?budget algorithm g table ~deadline with
+  | Some a ->
+      if constrained && not (Assignment.mem_feasible g table a) then
+        Infeasible_memory
+      else Feasible a
+  | None ->
+      if
+        constrained && deadline >= 0
+        && Assignment.min_makespan g table <= deadline
+      then Infeasible_memory
+      else Infeasible

@@ -30,6 +30,15 @@ val name : algorithm -> string
     [None] on anything else. *)
 val of_name : string -> algorithm option
 
+(** Like {!of_name}, but an unknown name yields a structured error message
+    naming the offending string and the valid catalogue — what the CLI and
+    JSONL layers surface to the user. *)
+val of_name_result : string -> (algorithm, string) result
+
+(** Human-readable list of every accepted algorithm spelling, e.g.
+    ["greedy (Greedy), ..."]. *)
+val catalogue : unit -> string
+
 (** Every algorithm, in ladder order (weakest baseline first). *)
 val all : algorithm list
 
@@ -47,3 +56,26 @@ val dispatch :
   Fulib.Table.t ->
   deadline:int ->
   Assignment.t option
+
+(** Phase-1 outcome with the memory dimension made explicit.
+    [Infeasible_memory] means per-FU-type memory capacity is what stands
+    in the way: either the solver's result violated the aggregate load
+    bound, or it failed outright on an instance whose deadline the
+    all-fastest relaxation meets. *)
+type verdict =
+  | Feasible of Assignment.t
+  | Infeasible
+  | Infeasible_memory
+
+(** [run ?budget algorithm g table ~deadline] is {!dispatch} plus the
+    memory verdict: every [Feasible] assignment is guaranteed
+    memory-feasible ({!Assignment.mem_feasible}), even for solvers without
+    native memory pruning. On unconstrained instances this is exactly
+    [dispatch] (never [Infeasible_memory]). *)
+val run :
+  ?budget:int ->
+  algorithm ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  deadline:int ->
+  verdict

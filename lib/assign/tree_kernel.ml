@@ -23,6 +23,7 @@ type t = {
   deadline : int;
   times : int array;  (* n*k, owned: pin writes here *)
   costs : int array;  (* n*k, owned *)
+  forbid : bool array;  (* n*k placement mask, owned; empty = none *)
   parent : int array;  (* -1 for roots; well-defined on a forest *)
   x : int array;  (* n*(deadline+1) subtree costs; [infeasible] = none *)
   choice : int array;  (* n*(deadline+1) chosen type; -1 = none *)
@@ -32,13 +33,21 @@ type t = {
   mutable any_dirty : bool;
 }
 
-let create g ~times ~costs ~k ~deadline =
+let create ?forbid g ~times ~costs ~k ~deadline =
   if not (Dfg.Graph.is_tree g) then
     invalid_arg "Tree_kernel: DAG portion is not a forest";
   if deadline < 0 then invalid_arg "Tree_kernel: negative deadline";
   let n = Dfg.Graph.num_nodes g in
   if Array.length times <> n * k || Array.length costs <> n * k then
     invalid_arg "Tree_kernel: flat table size mismatch";
+  let forbid =
+    match forbid with
+    | None -> [||]
+    | Some f ->
+        if Array.length f <> n * k then
+          invalid_arg "Tree_kernel: forbid mask size mismatch";
+        Array.copy f
+  in
   let parent = Array.make n (-1) in
   let pred_off, pred_tgt = Dfg.Graph.csr_preds g in
   for v = 0 to n - 1 do
@@ -52,6 +61,7 @@ let create g ~times ~costs ~k ~deadline =
     deadline;
     times;
     costs;
+    forbid;
     parent;
     x = Array.make (n * w) infeasible;
     choice = Array.make (n * w) (-1);
@@ -91,11 +101,16 @@ let compute_row t v =
       t.combined.(j) <- !sum
     done;
   let trow = v * t.k in
+  let masked = Array.length t.forbid > 0 in
   for j = 0 to t.deadline do
     let best = ref infeasible and best_t = ref (-1) in
     for ty = 0 to t.k - 1 do
       let dt = t.times.(trow + ty) in
-      if j - dt >= 0 && t.combined.(j - dt) <> infeasible then begin
+      if
+        (not (masked && t.forbid.(trow + ty)))
+        && j - dt >= 0
+        && t.combined.(j - dt) <> infeasible
+      then begin
         let c = t.combined.(j - dt) + t.costs.(trow + ty) in
         if c < !best then begin
           best := c;
@@ -137,6 +152,12 @@ let pin t ~node ~ftype =
     t.times.(row + ty) <- pt;
     t.costs.(row + ty) <- pc
   done;
+  (* Every type choice is now equivalent to the pinned (allowed) type, so
+     the node's placement mask collapses with the row. *)
+  if Array.length t.forbid > 0 then
+    for ty = 0 to t.k - 1 do
+      t.forbid.(row + ty) <- t.forbid.(row + ftype)
+    done;
   (* Dirty the node and its ancestors; the dirty set is closed under
      parents, so an already-dirty node ends the climb. *)
   Obs.Counter.incr c_pins;

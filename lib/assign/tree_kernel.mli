@@ -19,9 +19,15 @@ type t
 
 (** [create g ~times ~costs ~k ~deadline] over flat [node * k + ftype]
     tables. The kernel takes ownership of [times]/[costs]: {!pin} mutates
-    them in place. Raises [Invalid_argument] when the DAG portion of [g] is
-    not a forest, the deadline is negative, or array sizes mismatch. *)
+    them in place. [?forbid] is an optional [node * k + ftype] placement
+    mask ([true] = type disallowed for the node, e.g. because its memory
+    footprint exceeds the type's capacity — see [Context.mem_forbid]):
+    forbidden placements are cut inside the DP row computation's type
+    loop, before any DP work for them is done. The mask is copied. Raises
+    [Invalid_argument] when the DAG portion of [g] is not a forest, the
+    deadline is negative, or array sizes mismatch. *)
 val create :
+  ?forbid:bool array ->
   Dfg.Graph.t ->
   times:int array ->
   costs:int array ->

@@ -14,7 +14,7 @@ let check g table (s : Sched.Schedule.t) ~period =
   else if Array.for_all (fun t -> t >= 0 && t < k) s.assignment then begin
     if period >= 1 then
       List.iter
-        (fun { Dfg.Graph.src; dst; delay } ->
+        (fun { Dfg.Graph.src; dst; delay; _ } ->
           Violation.fact b;
           let f = Sched.Schedule.finish table s src in
           let available = s.start.(dst) + (delay * period) in
@@ -43,7 +43,7 @@ let check_rotation g table (r : Sched.Rotation.result) ~config =
       (Array.length r.retiming) n
   else
     List.iter
-      (fun { Dfg.Graph.src; dst; delay } ->
+      (fun { Dfg.Graph.src; dst; delay; _ } ->
         Violation.fact b;
         let retimed = delay + r.retiming.(dst) - r.retiming.(src) in
         if retimed < 0 then

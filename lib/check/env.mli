@@ -1,6 +1,6 @@
 (** The [HETSCHED_VALIDATE] switch.
 
-    When enabled, [Core.Synthesis.run] and [Core.Experiments.run_benchmark]
+    When enabled, [Core.Synthesis.solve] and [Core.Experiments.run_benchmark]
     audit every solver output with the checkers of this library and raise
     {!Violation.Failed} on the first corrupt result. Off by default so
     benchmarks measure the solvers, not the oracle; CI runs the whole suite

@@ -1,0 +1,93 @@
+(* Memory oracle: re-derive every memory quantity from primitives — edge
+   sizes ([Graph.succs_sized]), the assignment, the schedule's start steps
+   and the binding's instance map — deliberately NOT from the solver-side
+   caches ([Graph.out_data_arr], [Assignment.mem_loads]) or the production
+   accounting ([Binding.peak_memory]), so it can catch them lying. *)
+
+let node_footprint g v =
+  List.fold_left (fun acc (_, _, s) -> acc + s) 0 (Dfg.Graph.succs_sized g v)
+
+let finish table (s : Sched.Schedule.t) v =
+  s.Sched.Schedule.start.(v)
+  + Fulib.Table.time table ~node:v ~ftype:s.Sched.Schedule.assignment.(v)
+
+(* Per-type, per-instance peak resident data, from first principles: a
+   buffer lives on its producer's instance from the producer's start until
+   the consumer finishes (zero-delay) or for the whole schedule (delay
+   edges persist across iterations). *)
+let peaks g table (s : Sched.Schedule.t) (b : Sched.Binding.t) =
+  let k = Fulib.Table.num_types table in
+  let n = Dfg.Graph.num_nodes g in
+  let len = ref 1 in
+  for v = 0 to n - 1 do
+    if finish table s v > !len then len := finish table s v
+  done;
+  let len = !len in
+  let usage =
+    Array.init k (fun t ->
+        Array.make_matrix (max 1 b.Sched.Binding.config.(t)) len 0)
+  in
+  for u = 0 to n - 1 do
+    let t = s.Sched.Schedule.assignment.(u) and i = b.Sched.Binding.instance.(u) in
+    List.iter
+      (fun (w, delay, size) ->
+        if size > 0 then begin
+          let lo, hi =
+            if delay = 0 then (s.Sched.Schedule.start.(u), finish table s w - 1)
+            else (0, len - 1)
+          in
+          for step = max 0 lo to min hi (len - 1) do
+            usage.(t).(i).(step) <- usage.(t).(i).(step) + size
+          done
+        end)
+      (Dfg.Graph.succs_sized g u)
+  done;
+  Array.init k (fun t ->
+      Array.init b.Sched.Binding.config.(t) (fun i ->
+          Array.fold_left max 0 usage.(t).(i)))
+
+let check g table (s : Sched.Schedule.t) (b : Sched.Binding.t) =
+  let bld = Violation.builder () in
+  let n = Dfg.Graph.num_nodes g in
+  let k = Fulib.Table.num_types table in
+  let lib = Fulib.Table.library table in
+  let caps = Array.init k (Fulib.Library.mem_capacity lib) in
+  let a = s.Sched.Schedule.assignment in
+  if Array.length a <> n then
+    Violation.add bld "length-mismatch" "assignment has %d entries for %d nodes"
+      (Array.length a) n
+  else if Array.exists (fun t -> t < 0 || t >= k) a then
+    Violation.add bld "type-out-of-range"
+      "assignment contains a type outside the %d-type library" k
+  else begin
+    (* Aggregate per-type loads: the static feasibility bound the Phase-1
+       solvers enforce. *)
+    let loads = Array.make k 0 in
+    for v = 0 to n - 1 do
+      loads.(a.(v)) <- loads.(a.(v)) + node_footprint g v
+    done;
+    for t = 0 to k - 1 do
+      Violation.fact bld;
+      if loads.(t) > caps.(t) then
+        Violation.add bld "mem-load-over-capacity"
+          "type %s holds %d units of data, capacity is %d"
+          (Fulib.Library.type_name lib t)
+          loads.(t) caps.(t)
+    done;
+    (* Per-instance peaks: the dynamic (schedule-aware) bound. Always at
+       most the aggregate load of the type, so this refines rather than
+       contradicts the static check. *)
+    let peak = peaks g table s b in
+    for t = 0 to k - 1 do
+      Array.iteri
+        (fun i p ->
+          Violation.fact bld;
+          if p > caps.(t) then
+            Violation.add bld "mem-peak-over-capacity"
+              "instance %s[%d] peaks at %d units resident, capacity is %d"
+              (Fulib.Library.type_name lib t)
+              i p caps.(t))
+        peak.(t)
+    done
+  end;
+  Violation.report bld ~checker:"Check.Memory"

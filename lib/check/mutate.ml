@@ -64,6 +64,24 @@ let shrink_config table s ~config =
             c.(t) peak.(t),
           c )
 
+let shrink_mem_capacity g table a =
+  let k = Fulib.Table.num_types table in
+  let loads = Assign.Assignment.mem_loads g table a in
+  (* the most-loaded type, deterministically (lowest index on ties) *)
+  let worst = ref 0 in
+  for t = 1 to k - 1 do
+    if loads.(t) > loads.(!worst) then worst := t
+  done;
+  if loads.(!worst) = 0 then None
+  else begin
+    let t = !worst in
+    let caps = Array.copy (Fulib.Table.mem_capacities table) in
+    caps.(t) <- loads.(t) - 1;
+    Some
+      ( Printf.sprintf "type %d capacity -> %d (load %d)" t caps.(t) loads.(t),
+        Fulib.Table.with_mem_capacity table caps )
+  end
+
 let break_precedence g table (s : Sched.Schedule.t) =
   let edge =
     List.find_opt (fun e -> e.Dfg.Graph.delay = 0) (Dfg.Graph.edges g)
@@ -85,7 +103,7 @@ let break_delay g table (s : Sched.Schedule.t) ~period =
   in
   match edge with
   | None -> None
-  | Some { Dfg.Graph.src; dst; delay } ->
+  | Some { Dfg.Graph.src; dst; delay; _ } ->
       let fin = Sched.Schedule.finish table s src in
       let early = fin - (delay * period) - 1 in
       if early >= 0 then

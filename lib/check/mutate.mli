@@ -29,6 +29,16 @@ val out_of_range_type :
 val shrink_config :
   Fulib.Table.t -> Sched.Schedule.t -> config:Sched.Config.t -> (string * Sched.Config.t) option
 
+(** Shrink the most-loaded type's memory capacity to one unit below its
+    aggregate assigned data load — caught by [Check.Memory]
+    (["mem-load-over-capacity"]). [None] when no type carries data (sizes
+    all zero). *)
+val shrink_mem_capacity :
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  Assign.Assignment.t ->
+  (string * Fulib.Table.t) option
+
 (** Reverse the slack of one zero-delay edge: its consumer now starts one
     step before the producer finishes — caught by [Check.Schedule]
     (["precedence"]). *)

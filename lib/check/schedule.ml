@@ -42,7 +42,7 @@ let check ?assignment ?config g table (s : Sched.Schedule.t) ~deadline =
               names.(v) start)
         s.start;
       List.iter
-        (fun { Dfg.Graph.src; dst; delay } ->
+        (fun { Dfg.Graph.src; dst; delay; _ } ->
           if delay = 0 then begin
             Violation.fact b;
             let f = s.start.(src) + time src in

@@ -42,7 +42,7 @@ let analyse g table a ~deadline =
     let names = Array.map (Dfg.Graph.name g) keep_arr in
     let edges =
       List.filter_map
-        (fun { Dfg.Graph.src; dst; delay } ->
+        (fun { Dfg.Graph.src; dst; delay; _ } ->
           if delay <> 0 || src = v || dst = v then None
           else
             Some
@@ -50,6 +50,7 @@ let analyse g table a ~deadline =
                 Dfg.Graph.src = Hashtbl.find index src;
                 dst = Hashtbl.find index dst;
                 delay = 0;
+                size = 0;
               })
         (Dfg.Graph.edges g)
     in

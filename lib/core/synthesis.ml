@@ -40,7 +40,7 @@ let request ?(scheduler = List_scheduling) ?(validate = false)
     ?(trace = false) ?budget_ms ~algorithm ~deadline graph table =
   { graph; table; deadline; algorithm; scheduler; validate; trace; budget_ms }
 
-type status = Ok | Infeasible | Timeout | Error of string
+type status = Ok | Infeasible | Infeasible_memory | Timeout | Error of string
 
 type response = {
   result : result option;
@@ -56,12 +56,14 @@ let min_deadline g table = Assign.Assignment.min_makespan g table
 let c_requests = Obs.Counter.make "synthesis.requests"
 let c_ok = Obs.Counter.make "synthesis.ok"
 let c_infeasible = Obs.Counter.make "synthesis.infeasible"
+let c_infeasible_memory = Obs.Counter.make "synthesis.infeasible_memory"
 let c_timeout = Obs.Counter.make "synthesis.timeout"
 let c_error = Obs.Counter.make "synthesis.error"
 
 let count_status = function
   | Ok -> Obs.Counter.incr c_ok
   | Infeasible -> Obs.Counter.incr c_infeasible
+  | Infeasible_memory -> Obs.Counter.incr c_infeasible_memory
   | Timeout -> Obs.Counter.incr c_timeout
   | Error _ -> Obs.Counter.incr c_error
 
@@ -82,12 +84,21 @@ let exact_budget req =
 (* --- validation --------------------------------------------------------- *)
 
 let audit_reports g table ~deadline r =
-  [
-    Check.Assignment.check ~expect_cost:r.cost g table r.assignment ~deadline;
-    Check.Schedule.check ~assignment:r.assignment ~config:r.config g table
-      r.schedule ~deadline;
-    Check.Config.check table r.schedule ~config:r.config;
-  ]
+  let base =
+    [
+      Check.Assignment.check ~expect_cost:r.cost g table r.assignment ~deadline;
+      Check.Schedule.check ~assignment:r.assignment ~config:r.config g table
+        r.schedule ~deadline;
+      Check.Config.check table r.schedule ~config:r.config;
+    ]
+  in
+  (* The memory oracle only fires on memory-constrained instances, so
+     unconstrained audits (every pre-existing golden run) keep the exact
+     same checked-fact counts. *)
+  if Assign.Assignment.mem_constrained g table then
+    base
+    @ [ Check.Memory.check g table r.schedule (Sched.Binding.bind table r.schedule) ]
+  else base
 
 (* Independent audit of a finished synthesis result (HETSCHED_VALIDATE):
    Phase-1 path feasibility + recomputed cost, Phase-2 precedence /
@@ -116,19 +127,30 @@ let schedule_phase req assignment =
 let base_stats req = [ ("nodes", Dfg.Graph.num_nodes req.graph) ]
 
 let result_stats req r =
-  [
-    ("nodes", Dfg.Graph.num_nodes req.graph);
-    ("cost", r.cost);
-    ("makespan", r.makespan);
-    ("config_total", Sched.Config.total r.config);
-    ("lower_bound_total", Sched.Config.total r.lower_bound);
-  ]
+  let base =
+    [
+      ("nodes", Dfg.Graph.num_nodes req.graph);
+      ("cost", r.cost);
+      ("makespan", r.makespan);
+      ("config_total", Sched.Config.total r.config);
+      ("lower_bound_total", Sched.Config.total r.lower_bound);
+    ]
+  in
+  (* data-movement accounting, only meaningful (and only emitted) when the
+     graph carries edge sizes — sizeless instances keep their exact
+     pre-memory stats *)
+  if Dfg.Graph.has_data_sizes req.graph then
+    base
+    @ [
+        ( "transfer_cost",
+          Assign.Assignment.transfer_cost req.graph r.assignment );
+      ]
+  else base
 
 (* Two phases under one span each, with the cooperative budget checked at
    every phase boundary (a started phase is never interrupted; [Some 0]
    therefore times out before Phase 1 begins). Solver exceptions propagate
-   out of [solve_raw] — {!solve} is the catch-all boundary, {!run} the
-   re-raising shim. *)
+   out of [solve_raw] — {!solve} is the catch-all boundary. *)
 let solve_raw req =
   let started = Unix.gettimeofday () in
   let over_budget () =
@@ -149,16 +171,18 @@ let solve_raw req =
         let assignment =
           Obs.Span.with_ "phase.assign" (fun () ->
               match
-                Assign.Solve.dispatch ?budget:(exact_budget req) req.algorithm
+                Assign.Solve.run ?budget:(exact_budget req) req.algorithm
                   req.graph req.table ~deadline:req.deadline
               with
-              | a -> `Assigned a
+              | v -> `Assigned v
               | exception Assign.Exact.Budget_exhausted -> `Budget_exhausted)
         in
         match assignment with
         | `Budget_exhausted -> finish Timeout (base_stats req)
-        | `Assigned None -> finish Infeasible (base_stats req)
-        | `Assigned (Some assignment) -> (
+        | `Assigned Assign.Solve.Infeasible -> finish Infeasible (base_stats req)
+        | `Assigned Assign.Solve.Infeasible_memory ->
+            finish Infeasible_memory (base_stats req)
+        | `Assigned (Assign.Solve.Feasible assignment) -> (
             if over_budget () then finish Timeout (base_stats req)
             else
               match
@@ -250,32 +274,17 @@ let solve req =
    being folded into a response. *)
 let assign req =
   match
-    Assign.Solve.dispatch ?budget:(exact_budget req) req.algorithm req.graph
+    Assign.Solve.run ?budget:(exact_budget req) req.algorithm req.graph
       req.table ~deadline:req.deadline
   with
-  | None -> None
-  | Some a ->
+  | Assign.Solve.Infeasible | Assign.Solve.Infeasible_memory -> None
+  | Assign.Solve.Feasible a ->
       if req.validate || Check.Env.enabled () then
         Check.Violation.raise_if_failed
           (Check.Assignment.check
              ~expect_cost:(Assign.Assignment.total_cost req.table a)
              req.graph req.table a ~deadline:req.deadline);
       Some a
-
-(* Deprecated shim: the optional-argument entry point every caller used
-   before the request/response redesign. One release of grace. *)
-let run ?(scheduler = List_scheduling) algorithm g table ~deadline =
-  let resp =
-    solve_raw (request ~scheduler ~algorithm ~deadline g table)
-  in
-  (* re-raise a failed HETSCHED_VALIDATE audit, checker by checker, as the
-     pre-redesign [run] did *)
-  (match (resp.violations, resp.result) with
-  | _ :: _, Some r ->
-      List.iter Check.Violation.raise_if_failed
-        (audit_reports g table ~deadline r)
-  | _ -> ());
-  resp.result
 
 let pp_result ~graph ~table ppf r =
   let names = Dfg.Graph.names graph in

@@ -4,7 +4,7 @@
     The service-grade entry point is {!solve}: a {!request} record in, a
     {!response} record out, never an exception. The CLI, the experiment
     grids, the Pareto sweeps and the batch server ([lib/serve]) all go
-    through it; {!run} survives only as a deprecated shim. *)
+    through it. *)
 
 (** The Phase-1 algorithm catalogue, owned by {!Assign.Solve} (the single
     dispatch point); re-exported so existing [Core.Synthesis.Repeat]-style
@@ -83,6 +83,10 @@ val request :
 type status =
   | Ok  (** a result was produced (and, if validated, audited clean) *)
   | Infeasible  (** no assignment/schedule meets the deadline *)
+  | Infeasible_memory
+      (** the deadline alone is meetable, but no deadline-feasible
+          assignment fits the library's per-FU-type memory capacities
+          (see {!Assign.Solve.run} for the exact labelling rule) *)
   | Timeout  (** the request's [budget_ms] was exhausted *)
   | Error of string
       (** a solver raised, or validation found violations (then
@@ -119,9 +123,11 @@ val assign : request -> Assign.Assignment.t option
 
 (** Audit a result with the independent [lib/check] oracles — Phase-1 path
     feasibility and recomputed cost ([Check.Assignment]), Phase-2
-    precedence/deadline/occupancy ([Check.Schedule]) and configuration
-    coverage ([Check.Config]). Raises [Check.Violation.Failed] on the
-    first corrupt artifact; returns unit on clean results. *)
+    precedence/deadline/occupancy ([Check.Schedule]), configuration
+    coverage ([Check.Config]) and, on memory-constrained instances,
+    per-type loads and per-instance peak resident data ([Check.Memory]).
+    Raises [Check.Violation.Failed] on the first corrupt artifact; returns
+    unit on clean results. *)
 val validate : Dfg.Graph.t -> Fulib.Table.t -> deadline:int -> result -> unit
 
 (** Smallest feasible deadline for the graph/table (all-fastest critical
@@ -134,15 +140,3 @@ val pp_result :
   Format.formatter ->
   result ->
   unit
-
-(** Legacy one-shot entry point, kept for one release as a shim over
-    {!solve}: [None] on [Infeasible]/[Timeout], re-raises solver errors
-    and validation failures. *)
-val run :
-  ?scheduler:scheduler ->
-  algorithm ->
-  Dfg.Graph.t ->
-  Fulib.Table.t ->
-  deadline:int ->
-  result option
-[@@deprecated "use Core.Synthesis.solve (request -> response) instead"]

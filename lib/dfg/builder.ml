@@ -14,10 +14,10 @@ let add_node b ~name ~op =
   b.count <- id + 1;
   id
 
-let add_delay_edge b ~src ~dst ~delay =
-  b.edges <- { Graph.src; dst; delay } :: b.edges
+let add_delay_edge ?(size = 0) b ~src ~dst ~delay =
+  b.edges <- { Graph.src; dst; delay; size } :: b.edges
 
-let add_edge b ~src ~dst = add_delay_edge b ~src ~dst ~delay:0
+let add_edge ?size b ~src ~dst = add_delay_edge ?size b ~src ~dst ~delay:0
 let num_nodes b = b.count
 
 let finish b =

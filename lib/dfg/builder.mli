@@ -12,11 +12,13 @@ val create : unit -> t
     at 0). *)
 val add_node : t -> name:string -> op:string -> int
 
-(** [add_edge b ~src ~dst] adds a zero-delay (intra-iteration) edge. *)
-val add_edge : t -> src:int -> dst:int -> unit
+(** [add_edge b ~src ~dst] adds a zero-delay (intra-iteration) edge.
+    [?size] is the data size the edge carries (default 0, see
+    {!Graph.edge}). *)
+val add_edge : ?size:int -> t -> src:int -> dst:int -> unit
 
 (** [add_delay_edge b ~src ~dst ~delay] adds an inter-iteration edge. *)
-val add_delay_edge : t -> src:int -> dst:int -> delay:int -> unit
+val add_delay_edge : ?size:int -> t -> src:int -> dst:int -> delay:int -> unit
 
 val num_nodes : t -> int
 

@@ -4,7 +4,7 @@ let cycle_period g ~time = Paths.longest_path g ~weight:time
 
 let is_legal g r =
   List.for_all
-    (fun { Graph.src; dst; delay } -> delay + r.(dst) - r.(src) >= 0)
+    (fun { Graph.src; dst; delay; _ } -> delay + r.(dst) - r.(src) >= 0)
     (Graph.edges g)
 
 let apply g r =
@@ -15,8 +15,8 @@ let apply g r =
   let ops = Array.init (Graph.num_nodes g) (fun v -> Graph.op g v) in
   let edges =
     List.map
-      (fun { Graph.src; dst; delay } ->
-        { Graph.src; dst; delay = delay + r.(dst) - r.(src) })
+      (fun { Graph.src; dst; delay; size } ->
+        { Graph.src; dst; delay = delay + r.(dst) - r.(src); size })
       (Graph.edges g)
   in
   Graph.of_edges ~names ~ops edges
@@ -78,7 +78,7 @@ let has_positive_cycle g ~time bound =
   let edges = Graph.edges g in
   let relax () =
     List.fold_left
-      (fun changed { Graph.src; dst; delay } ->
+      (fun changed { Graph.src; dst; delay; _ } ->
         let w = float_of_int (time src) -. (bound *. float_of_int delay) in
         if dist.(src) +. w > dist.(dst) +. 1e-12 then begin
           dist.(dst) <- dist.(src) +. w;

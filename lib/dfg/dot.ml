@@ -27,7 +27,7 @@ let to_dot ?label g =
          extra)
   done;
   List.iter
-    (fun { Graph.src; dst; delay } ->
+    (fun { Graph.src; dst; delay; _ } ->
       if delay = 0 then
         Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" src dst)
       else

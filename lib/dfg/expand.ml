@@ -24,9 +24,9 @@ let expand ?(max_nodes = 200_000) g =
      of the whole sub-DAG unfolded into a tree. *)
   let rec clone v =
     let id = fresh_copy v in
-    Graph.iter_dag_succs g v (fun w ->
+    Graph.iter_dag_succs_sized g v (fun w size ->
         let child = clone w in
-        edges := { Graph.src = id; dst = child; delay = 0 } :: !edges);
+        edges := { Graph.src = id; dst = child; delay = 0; size } :: !edges);
     id
   in
   Array.iter (fun r -> ignore (clone r)) (Graph.roots_arr g);

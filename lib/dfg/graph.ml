@@ -1,4 +1,4 @@
-type edge = { src : int; dst : int; delay : int }
+type edge = { src : int; dst : int; delay : int; size : int }
 
 (* Flat, cache-friendly view of the DAG portion (zero-delay subgraph),
    built once at construction: CSR adjacency (offsets + targets), total
@@ -10,8 +10,11 @@ type csr = {
   succ_off : int array;  (* length n+1; zero-delay succs of v at
                             [succ_off.(v) .. succ_off.(v+1) - 1] *)
   succ_tgt : int array;
+  succ_size : int array;  (* parallel to succ_tgt: zero-delay edge sizes *)
   pred_off : int array;
   pred_tgt : int array;
+  out_data : int array;  (* per node: total size over ALL outgoing edges *)
+  has_data : bool;  (* any edge (any delay) with size > 0 *)
   roots : int array;  (* ascending *)
   leaves : int array;  (* ascending *)
   is_tree : bool;
@@ -22,8 +25,8 @@ type csr = {
 type t = {
   names : string array;
   ops : string array;
-  succs : (int * int) list array;
-  preds : (int * int) list array;
+  succs : (int * int * int) list array;  (* (dst, delay, size) *)
+  preds : (int * int * int) list array;  (* (src, delay, size) *)
   csr : csr;
 }
 
@@ -31,15 +34,17 @@ let num_nodes g = Array.length g.names
 let name g v = g.names.(v)
 let op g v = g.ops.(v)
 let names g = Array.copy g.names
-let succs g v = g.succs.(v)
-let preds g v = g.preds.(v)
+let succs g v = List.map (fun (w, d, _) -> (w, d)) g.succs.(v)
+let preds g v = List.map (fun (w, d, _) -> (w, d)) g.preds.(v)
+let succs_sized g v = g.succs.(v)
+let preds_sized g v = g.preds.(v)
 
 (* --- CSR construction ------------------------------------------------- *)
 
 let build_csr n succs preds =
   let num_edges = Array.fold_left (fun acc l -> acc + List.length l) 0 succs in
   let count_zero l =
-    List.fold_left (fun acc (_, d) -> if d = 0 then acc + 1 else acc) 0 l
+    List.fold_left (fun acc (_, d, _) -> if d = 0 then acc + 1 else acc) 0 l
   in
   let fill adj =
     let off = Array.make (n + 1) 0 in
@@ -47,20 +52,28 @@ let build_csr n succs preds =
       off.(v + 1) <- off.(v) + count_zero adj.(v)
     done;
     let tgt = Array.make off.(n) 0 in
+    let sz = Array.make off.(n) 0 in
     for v = 0 to n - 1 do
       let i = ref off.(v) in
       List.iter
-        (fun (w, d) ->
+        (fun (w, d, s) ->
           if d = 0 then begin
             tgt.(!i) <- w;
+            sz.(!i) <- s;
             incr i
           end)
         adj.(v)
     done;
-    (off, tgt)
+    (off, tgt, sz)
   in
-  let succ_off, succ_tgt = fill succs in
-  let pred_off, pred_tgt = fill preds in
+  let succ_off, succ_tgt, succ_size = fill succs in
+  let pred_off, pred_tgt, _ = fill preds in
+  let out_data =
+    Array.map
+      (fun l -> List.fold_left (fun acc (_, _, s) -> acc + s) 0 l)
+      succs
+  in
+  let has_data = Array.exists (fun d -> d > 0) out_data in
   let collect pred =
     let count = ref 0 in
     for v = 0 to n - 1 do
@@ -89,8 +102,11 @@ let build_csr n succs preds =
     num_edges;
     succ_off;
     succ_tgt;
+    succ_size;
     pred_off;
     pred_tgt;
+    out_data;
+    has_data;
     roots;
     leaves;
     is_tree;
@@ -180,8 +196,17 @@ let compute_post g =
 
 let csr_succs g = (g.csr.succ_off, g.csr.succ_tgt)
 let csr_preds g = (g.csr.pred_off, g.csr.pred_tgt)
+let csr_succ_sizes g = g.csr.succ_size
+let out_data_arr g = g.csr.out_data
+let out_data g v = g.csr.out_data.(v)
+let has_data_sizes g = g.csr.has_data
 let roots_arr g = g.csr.roots
 let leaves_arr g = g.csr.leaves
+
+(* Data only crosses FU boundaries when producer and consumer land on
+   different types; a same-type hop is a local-memory access and free. *)
+let transfer ~src_type ~dst_type ~size =
+  if src_type = dst_type then 0 else size
 
 let topo_arr g =
   match g.csr.topo with
@@ -207,6 +232,12 @@ let iter_dag_succs g v f =
   let c = g.csr in
   for i = c.succ_off.(v) to c.succ_off.(v + 1) - 1 do
     f c.succ_tgt.(i)
+  done
+
+let iter_dag_succs_sized g v f =
+  let c = g.csr in
+  for i = c.succ_off.(v) to c.succ_off.(v + 1) - 1 do
+    f c.succ_tgt.(i) c.succ_size.(i)
   done
 
 let iter_dag_preds g v f =
@@ -251,7 +282,7 @@ let edges g =
   let acc = ref [] in
   for src = num_nodes g - 1 downto 0 do
     List.iter
-      (fun (dst, delay) -> acc := { src; dst; delay } :: !acc)
+      (fun (dst, delay, size) -> acc := { src; dst; delay; size } :: !acc)
       (List.rev g.succs.(src))
   done;
   !acc
@@ -261,9 +292,9 @@ let dag_in_degree g v = g.csr.pred_off.(v + 1) - g.csr.pred_off.(v)
 let roots g = Array.to_list g.csr.roots
 let leaves g = Array.to_list g.csr.leaves
 let is_tree g = g.csr.is_tree
-let mem_edge g ~src ~dst = List.exists (fun (w, _) -> w = dst) g.succs.(src)
+let mem_edge g ~src ~dst = List.exists (fun (w, _, _) -> w = dst) g.succs.(src)
 
-let of_edges ~names ?ops edge_list =
+let of_edges ~names ?ops ?sizes edge_list =
   let n = Array.length names in
   let ops =
     match ops with
@@ -273,20 +304,29 @@ let of_edges ~names ?ops edge_list =
         Array.copy o
     | None -> Array.make n "op"
   in
+  let edge_list =
+    match sizes with
+    | None -> edge_list
+    | Some sz ->
+        if Array.length sz <> List.length edge_list then
+          invalid_arg "Graph.of_edges: sizes length mismatch";
+        List.mapi (fun i e -> { e with size = sz.(i) }) edge_list
+  in
   let succs = Array.make n [] and preds = Array.make n [] in
   let check_node v =
     if v < 0 || v >= n then
       invalid_arg (Printf.sprintf "Graph.of_edges: node %d out of range" v)
   in
   List.iter
-    (fun { src; dst; delay } ->
+    (fun { src; dst; delay; size } ->
       check_node src;
       check_node dst;
       if delay < 0 then invalid_arg "Graph.of_edges: negative delay";
+      if size < 0 then invalid_arg "Graph.of_edges: negative size";
       if src = dst && delay = 0 then
         invalid_arg "Graph.of_edges: zero-delay self-loop";
-      succs.(src) <- (dst, delay) :: succs.(src);
-      preds.(dst) <- (src, delay) :: preds.(dst))
+      succs.(src) <- (dst, delay, size) :: succs.(src);
+      preds.(dst) <- (src, delay, size) :: preds.(dst))
     edge_list;
   Array.iteri (fun i l -> succs.(i) <- List.rev l) succs;
   Array.iteri (fun i l -> preds.(i) <- List.rev l) preds;
@@ -303,9 +343,10 @@ let pp ppf g =
   for v = 0 to num_nodes g - 1 do
     Format.fprintf ppf "@,  %s [%s] ->" (name g v) (op g v);
     List.iter
-      (fun (w, d) ->
-        if d = 0 then Format.fprintf ppf " %s" (name g w)
-        else Format.fprintf ppf " %s(d=%d)" (name g w) d)
-      (succs g v)
+      (fun (w, d, s) ->
+        let sz = if s > 0 then Printf.sprintf "{%d}" s else "" in
+        if d = 0 then Format.fprintf ppf " %s%s" (name g w) sz
+        else Format.fprintf ppf " %s(d=%d)%s" (name g w) d sz)
+      g.succs.(v)
   done;
   Format.fprintf ppf "@]"

@@ -11,14 +11,24 @@
 
 type t
 
-type edge = { src : int; dst : int; delay : int }
+(** [size] is the amount of data the edge carries (abstract units, default
+    0 = negligible). It feeds the memory model: a node's footprint is the
+    total size of its outgoing edges, charged against the producing FU
+    type's local-memory capacity (see {!Fulib.Library.mem_capacity}), and
+    {!transfer} prices the data movement when producer and consumer land on
+    different FU types. *)
+type edge = { src : int; dst : int; delay : int; size : int }
 
-(** [of_edges ~names ?ops edges] builds a graph over nodes
+(** [of_edges ~names ?ops ?sizes edges] builds a graph over nodes
     [0 .. Array.length names - 1]. [ops.(v)] is a free-form operation kind
-    (e.g. ["mul"]) defaulting to ["op"]. Raises [Invalid_argument] on node
-    ids out of range, negative delays, self-loops with zero delay, or when
-    the zero-delay subgraph contains a cycle. *)
-val of_edges : names:string array -> ?ops:string array -> edge list -> t
+    (e.g. ["mul"]) defaulting to ["op"]. [sizes.(i)], when given, overrides
+    the [size] field of the [i]-th edge of [edges] — a convenience for
+    callers sizing an existing edge list. Raises [Invalid_argument] on node
+    ids out of range, negative delays or sizes, a [sizes] length mismatch,
+    self-loops with zero delay, or when the zero-delay subgraph contains a
+    cycle. *)
+val of_edges :
+  names:string array -> ?ops:string array -> ?sizes:int array -> edge list -> t
 
 val num_nodes : t -> int
 val num_edges : t -> int
@@ -31,6 +41,12 @@ val names : t -> string array
 val succs : t -> int -> (int * int) list
 
 val preds : t -> int -> (int * int) list
+
+(** Successors/predecessors with data sizes, as [(neighbour, delay, size)]
+    triples in insertion order. *)
+val succs_sized : t -> int -> (int * int * int) list
+
+val preds_sized : t -> int -> (int * int * int) list
 
 (** Successors/predecessors restricted to the DAG portion (zero delay). *)
 val dag_succs : t -> int -> int list
@@ -67,6 +83,27 @@ val is_tree : t -> bool
 val csr_succs : t -> int array * int array
 val csr_preds : t -> int array * int array
 
+(** Zero-delay edge sizes, parallel to the targets array of {!csr_succs}. *)
+val csr_succ_sizes : t -> int array
+
+(** {2 Data sizes and the memory model} *)
+
+(** [out_data g v] is node [v]'s memory footprint: the total [size] over
+    ALL its outgoing edges (delay edges included — their buffers persist
+    across iterations). [out_data_arr] is the cached per-node array. *)
+val out_data : t -> int -> int
+
+val out_data_arr : t -> int array
+
+(** [has_data_sizes g] is true when any edge carries a positive size —
+    i.e. the memory model is non-trivial for this graph. *)
+val has_data_sizes : t -> bool
+
+(** [transfer ~src_type ~dst_type ~size] is the inter-FU transfer cost of
+    moving [size] units between the producing and consuming FU types: [0]
+    when they coincide (local-memory access), [size] otherwise. *)
+val transfer : src_type:int -> dst_type:int -> size:int -> int
+
 (** Roots/leaves of the DAG portion as cached ascending arrays. *)
 val roots_arr : t -> int array
 
@@ -87,6 +124,10 @@ val preheat : t -> unit
 (** Allocation-free iteration over zero-delay neighbours, in adjacency
     order. *)
 val iter_dag_succs : t -> int -> (int -> unit) -> unit
+
+(** Like {!iter_dag_succs} but the callback also receives the edge's data
+    size. *)
+val iter_dag_succs_sized : t -> int -> (int -> int -> unit) -> unit
 
 val iter_dag_preds : t -> int -> (int -> unit) -> unit
 val fold_dag_succs : t -> int -> init:'a -> f:('a -> int -> 'a) -> 'a

@@ -3,7 +3,8 @@ let transpose g =
   let ops = Array.init (Graph.num_nodes g) (fun v -> Graph.op g v) in
   let edges =
     List.map
-      (fun { Graph.src; dst; delay } -> { Graph.src = dst; dst = src; delay })
+      (fun { Graph.src; dst; delay; size } ->
+        { Graph.src = dst; dst = src; delay; size })
       (Graph.edges g)
   in
   Graph.of_edges ~names ~ops edges

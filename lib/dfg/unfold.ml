@@ -14,13 +14,18 @@ let unfold g ~factor =
   for dst = n - 1 downto 0 do
     for j = factor - 1 downto 0 do
       List.iter
-        (fun (src, delay) ->
+        (fun (src, delay, size) ->
           let i = (((j - delay) mod factor) + factor) mod factor in
           let unfolded_delay = (i + delay - j) / factor in
           edges :=
-            { Graph.src = copy src i; dst = copy dst j; delay = unfolded_delay }
+            {
+              Graph.src = copy src i;
+              dst = copy dst j;
+              delay = unfolded_delay;
+              size;
+            }
             :: !edges)
-        (List.rev (Graph.preds g dst))
+        (List.rev (Graph.preds_sized g dst))
     done
   done;
   Graph.of_edges ~names ~ops !edges

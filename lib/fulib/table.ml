@@ -94,6 +94,17 @@ let min_time t v = (flat t).fmin_times.(v)
 let min_cost_type t v = (flat t).fmin_cost_types.(v)
 let min_cost t v = (flat t).fmin_costs.(v)
 
+let mem_capacities t = Library.mem_capacities t.library
+let mem_bounded t = Library.mem_bounded t.library
+
+let with_mem_capacity t caps =
+  {
+    library = Library.with_mem_capacity t.library caps;
+    time = Array.map Array.copy t.time;
+    cost = Array.map Array.copy t.cost;
+    flat = None;
+  }
+
 let pin t ~node ~ftype =
   let k = num_types t in
   let time = Array.map Array.copy t.time in

@@ -49,6 +49,19 @@ val min_times_arr : t -> int array
 
 val min_costs_arr : t -> int array
 
+(** Per-type local-memory capacities of the table's library, indexed by
+    type ({!Library.unbounded_mem} when unconstrained). Owned by the
+    library — treat as read-only. Mirrors the preheated flat views. *)
+val mem_capacities : t -> int array
+
+(** [mem_bounded t] is [true] when at least one type has a finite
+    capacity (see {!Library.mem_bounded}). *)
+val mem_bounded : t -> bool
+
+(** [with_mem_capacity t caps] is [t] with its library's per-type
+    capacities replaced; times and costs are unchanged. *)
+val with_mem_capacity : t -> int array -> t
+
 (** [pin t ~node ~ftype] returns a table in which [node]'s row is collapsed
     to the pinned type: every type choice now has the pinned time and cost,
     so any assignment of [node] is equivalent to choosing [ftype]. This is

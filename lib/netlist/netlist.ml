@@ -27,7 +27,7 @@ let to_string ?table g =
     Buffer.add_char buf '\n'
   done;
   List.iter
-    (fun { Dfg.Graph.src; dst; delay } ->
+    (fun { Dfg.Graph.src; dst; delay; _ } ->
       if delay = 0 then
         Buffer.add_string buf
           (Printf.sprintf "edge %s %s\n" (Dfg.Graph.name g src)
@@ -111,7 +111,7 @@ let of_string s =
     List.rev_map
       (fun (src, dst, delay, lineno) ->
         let e =
-          { Dfg.Graph.src = resolve lineno src; dst = resolve lineno dst; delay }
+          { Dfg.Graph.src = resolve lineno src; dst = resolve lineno dst; delay; size = 0 }
         in
         if e.Dfg.Graph.src = e.Dfg.Graph.dst && delay = 0 then
           raise (Parse_error (lineno, "zero-delay self-loop on " ^ src));

@@ -61,6 +61,39 @@ let is_valid ?(pipelined = fun _ -> false) table s b =
   done;
   !ok
 
+(* Peak resident data per FU instance. A buffer lives on its PRODUCER's
+   instance: a zero-delay edge u -> w occupies it from u's start until w
+   completes; a delay edge's buffer crosses iterations and is charged for
+   the whole schedule. Consumers on other instances read through the
+   inter-FU transfer path (priced by [Dfg.Graph.transfer]), not through a
+   second resident copy. *)
+let peak_memory ~graph table s b =
+  let k = Fulib.Table.num_types table in
+  let len = max 1 (Schedule.length table s) in
+  let usage =
+    Array.init k (fun t -> Array.make_matrix (max 1 b.config.(t)) len 0)
+  in
+  let n = Array.length s.Schedule.start in
+  for u = 0 to n - 1 do
+    let t = s.Schedule.assignment.(u) and i = b.instance.(u) in
+    List.iter
+      (fun (w, delay, size) ->
+        if size > 0 then begin
+          let lo, hi =
+            if delay = 0 then
+              (s.Schedule.start.(u), Schedule.finish table s w - 1)
+            else (0, len - 1)
+          in
+          for step = lo to min hi (len - 1) do
+            usage.(t).(i).(step) <- usage.(t).(i).(step) + size
+          done
+        end)
+      (Dfg.Graph.succs_sized graph u)
+  done;
+  Array.init k (fun t ->
+      Array.init b.config.(t) (fun i ->
+          Array.fold_left max 0 usage.(t).(i)))
+
 let pp ~graph ~table ~schedule ppf b =
   let lib = Fulib.Table.library table in
   let k = Fulib.Table.num_types table in

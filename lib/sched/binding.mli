@@ -23,6 +23,19 @@ val bind : ?pipelined:(int -> bool) -> Fulib.Table.t -> Schedule.t -> t
     pipelined types). *)
 val is_valid : ?pipelined:(int -> bool) -> Fulib.Table.t -> Schedule.t -> t -> bool
 
+(** [peak_memory ~graph table s b] is, per FU type and instance, the peak
+    data resident on that instance in any single step: [(result.(t)).(i)]
+    is instance [i] of type [t]'s peak. A buffer lives on its producer's
+    instance from the producer's start step until the consumer completes
+    (zero-delay edges) or for the whole schedule (delay edges, whose
+    buffers cross iterations). Since every buffer of a node charges at
+    most its full footprint ({!Dfg.Graph.out_data}), each instance's peak
+    is bounded by its type's aggregate assignment load
+    ({!Assign.Assignment.mem_loads}) — so any memory-feasible assignment
+    yields per-instance peaks within capacity. *)
+val peak_memory :
+  graph:Dfg.Graph.t -> Fulib.Table.t -> Schedule.t -> t -> int array array
+
 (** Render per-FU timelines, Figure-3 style: one row per FU instance with
     the operations it executes in time order. *)
 val pp :

@@ -4,7 +4,7 @@ let node_time table s v =
 let is_legal_period g table s ~period =
   period >= 1
   && List.for_all
-       (fun { Dfg.Graph.src; dst; delay } ->
+       (fun { Dfg.Graph.src; dst; delay; _ } ->
          s.Schedule.start.(src) + node_time table s src
          <= s.Schedule.start.(dst) + (delay * period))
        (Dfg.Graph.edges g)
@@ -14,7 +14,7 @@ let ceil_div a b = if a <= 0 then 0 else ((a - 1) / b) + 1
 let min_period g table s =
   let dependence_bound =
     List.fold_left
-      (fun acc { Dfg.Graph.src; dst; delay } ->
+      (fun acc { Dfg.Graph.src; dst; delay; _ } ->
         if delay = 0 then begin
           if
             s.Schedule.start.(src) + node_time table s src
@@ -63,7 +63,7 @@ let simulate g table s ~period ~iterations =
   let ok = ref true in
   for i = 0 to iterations - 1 do
     List.iter
-      (fun { Dfg.Graph.src; dst; delay } ->
+      (fun { Dfg.Graph.src; dst; delay; _ } ->
         let producer_iteration = i - delay in
         if producer_iteration >= 0 && finish producer_iteration src > start i dst
         then ok := false)

@@ -54,15 +54,18 @@ let digest (req : Core.Synthesis.request) =
   let edges =
     List.sort compare
       (List.map
-         (fun { Dfg.Graph.src; dst; delay } -> (src, dst, delay))
+         (fun { Dfg.Graph.src; dst; delay; size } -> (src, dst, delay, size))
          (Dfg.Graph.edges g))
   in
   List.iter
-    (fun (src, dst, delay) ->
-      Buffer.add_string buf (Printf.sprintf "e%d,%d,%d;" src dst delay))
+    (fun (src, dst, delay, size) ->
+      Buffer.add_string buf (Printf.sprintf "e%d,%d,%d,%d;" src dst delay size))
     edges;
   let k = Fulib.Table.num_types table in
   Buffer.add_string buf (Printf.sprintf "k=%d;" k);
+  Array.iter
+    (fun c -> Buffer.add_string buf (Printf.sprintf "m%d;" c))
+    (Fulib.Table.mem_capacities table);
   for v = 0 to n - 1 do
     for ftype = 0 to k - 1 do
       Buffer.add_string buf
@@ -98,7 +101,9 @@ let find t req =
 
 let cacheable (resp : Core.Synthesis.response) =
   match resp.Core.Synthesis.status with
-  | Core.Synthesis.Ok | Core.Synthesis.Infeasible -> true
+  | Core.Synthesis.Ok | Core.Synthesis.Infeasible
+  | Core.Synthesis.Infeasible_memory ->
+      true
   | Core.Synthesis.Timeout | Core.Synthesis.Error _ -> false
 
 let evict_lru t =

@@ -49,13 +49,18 @@ let parse_edges json =
         | edge :: rest -> (
             match Option.map (List.map J.to_int_opt) (J.to_list_opt edge) with
             | Some [ Some src; Some dst ] ->
-                fill (i + 1) ({ Dfg.Graph.src; dst; delay = 0 } :: acc) rest
+                fill (i + 1)
+                  ({ Dfg.Graph.src; dst; delay = 0; size = 0 } :: acc)
+                  rest
             | Some [ Some src; Some dst; Some delay ] ->
-                fill (i + 1) ({ Dfg.Graph.src; dst; delay } :: acc) rest
+                fill (i + 1) ({ Dfg.Graph.src; dst; delay; size = 0 } :: acc) rest
+            | Some [ Some src; Some dst; Some delay; Some size ] ->
+                fill (i + 1) ({ Dfg.Graph.src; dst; delay; size } :: acc) rest
             | _ ->
                 Error
                   (Printf.sprintf
-                     "graph.edges[%d] must be [src, dst] or [src, dst, delay]"
+                     "graph.edges[%d] must be [src, dst], [src, dst, delay] \
+                      or [src, dst, delay, size]"
                      i))
       in
       fill 0 [] edges
@@ -103,15 +108,38 @@ let parse_table json =
           if List.exists Option.is_none names then
             Error "table.types must be a list of strings"
           else
-            let library =
-              Fulib.Library.make
-                (Array.of_list (List.filter_map Fun.id names))
+            let mem_capacity =
+              match field "mem_capacity" json with
+              | None -> Ok None
+              | Some caps -> (
+                  match
+                    Option.map (List.map J.to_int_opt) (J.to_list_opt caps)
+                  with
+                  | Some cells when List.for_all Option.is_some cells ->
+                      Ok
+                        (Some
+                           (Array.of_list (List.filter_map Fun.id cells)))
+                  | _ -> Error "table.mem_capacity must be a list of ints")
             in
-            (match (parse_matrix "time" time, parse_matrix "cost" cost) with
-            | Ok time, Ok cost -> (
-                try Ok (Fulib.Table.make ~library ~time ~cost)
-                with Invalid_argument msg -> Error ("table: " ^ msg))
-            | (Error _ as e), _ | _, (Error _ as e) -> e))
+            (match mem_capacity with
+            | Error _ as e -> e
+            | Ok mem_capacity -> (
+                match
+                  try
+                    Ok
+                      (Fulib.Library.make ?mem_capacity
+                         (Array.of_list (List.filter_map Fun.id names)))
+                  with Invalid_argument msg -> Error ("table: " ^ msg)
+                with
+                | Error _ as e -> e
+                | Ok library -> (
+                    match
+                      (parse_matrix "time" time, parse_matrix "cost" cost)
+                    with
+                    | Ok time, Ok cost -> (
+                        try Ok (Fulib.Table.make ~library ~time ~cost)
+                        with Invalid_argument msg -> Error ("table: " ^ msg))
+                    | (Error _ as e), _ | _, (Error _ as e) -> e))))
   | _ -> Error "table needs types, time and cost"
 
 let parse_instance ?lookup json =
@@ -158,9 +186,9 @@ let request_of_json ?lookup ~line json =
       match string_field "algorithm" json with
       | None -> Ok Assign.Solve.Repeat
       | Some name -> (
-          match Assign.Solve.of_name name with
-          | Some a -> Ok a
-          | None -> err (Printf.sprintf "unknown algorithm %S" name))
+          match Assign.Solve.of_name_result name with
+          | Stdlib.Ok a -> Ok a
+          | Stdlib.Error msg -> err msg)
     in
     let* scheduler =
       match string_field "scheduler" json with
@@ -193,6 +221,8 @@ let request_of_string ?lookup ~line s =
 let status_fields = function
   | Core.Synthesis.Ok -> [ ("status", J.String "ok") ]
   | Core.Synthesis.Infeasible -> [ ("status", J.String "infeasible") ]
+  | Core.Synthesis.Infeasible_memory ->
+      [ ("status", J.String "infeasible_memory") ]
   | Core.Synthesis.Timeout -> [ ("status", J.String "timeout") ]
   | Core.Synthesis.Error msg ->
       [ ("status", J.String "error"); ("error", J.String msg) ]

@@ -63,6 +63,23 @@ let random_dag rng ~n ~extra_edges =
   done;
   B.finish b
 
+(* Re-emit the same graph with random data sizes on every edge. The edge
+   list round-trips in insertion order ([Graph.edges] / [of_edges]), so the
+   sizes land deterministically: edge [i] in insertion order gets the
+   [i]-th draw. *)
+let with_sizes rng ?(min_size = 1) ?(max_size = 8) g =
+  if min_size < 0 || max_size < min_size then
+    invalid_arg "Random_dfg.with_sizes: bad size range";
+  let n = Dfg.Graph.num_nodes g in
+  let names = Dfg.Graph.names g in
+  let ops = Array.init n (Dfg.Graph.op g) in
+  let edges = Dfg.Graph.edges g in
+  let sizes = Array.make (List.length edges) 0 in
+  for i = 0 to Array.length sizes - 1 do
+    sizes.(i) <- Prng.int_in rng min_size max_size
+  done;
+  Dfg.Graph.of_edges ~names ~ops ~sizes edges
+
 (* The parent rng is split once per graph on the calling domain (split
    advances the parent, so the streams are a pure function of the parent's
    state and the index); only the generation itself fans out. *)

@@ -13,6 +13,14 @@ val random_tree : Prng.t -> n:int -> max_children:int -> Dfg.Graph.t
     create the reconvergent fan-out that makes expansion non-trivial. *)
 val random_dag : Prng.t -> n:int -> extra_edges:int -> Dfg.Graph.t
 
+(** [with_sizes rng ?min_size ?max_size g] re-emits [g] with a uniform
+    random data size in [min_size..max_size] (defaults [1..8]) on every
+    edge, in edge insertion order — the memory-model counterpart of the
+    structural generators above. Nodes, ops and edge structure are
+    unchanged. *)
+val with_sizes :
+  Prng.t -> ?min_size:int -> ?max_size:int -> Dfg.Graph.t -> Dfg.Graph.t
+
 (** [batch ?pool rng ~count gen] generates [count] graphs, each from its
     own PRNG stream split off [rng] by index on the calling domain, with
     the generation fanned out over [pool] (default [Par.Pool.global ()]).

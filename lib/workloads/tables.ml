@@ -50,6 +50,43 @@ let dvs rng ~levels g =
   let rows = Array.init n row in
   Fulib.Table.make ~library ~time:(Array.map fst rows) ~cost:(Array.map snd rows)
 
+(* --- memory-capacity presets -------------------------------------------- *)
+
+let total_data g =
+  let total = ref 0 in
+  for v = 0 to Dfg.Graph.num_nodes g - 1 do
+    total := !total + Dfg.Graph.out_data g v
+  done;
+  !total
+
+let max_footprint g =
+  let worst = ref 0 in
+  for v = 0 to Dfg.Graph.num_nodes g - 1 do
+    if Dfg.Graph.out_data g v > !worst then worst := Dfg.Graph.out_data g v
+  done;
+  !worst
+
+(* Tight: per-type capacity around an even split of the total data with a
+   [slack] multiplier, but never below the largest single footprint — a
+   node that fits nowhere would make every instance trivially infeasible
+   instead of memory-pressured. *)
+let mem_tight ?(slack = 1.25) g table =
+  if slack < 1.0 then invalid_arg "Tables.mem_tight: slack < 1.0";
+  let k = Fulib.Table.num_types table in
+  let cap =
+    max (max_footprint g)
+      (int_of_float
+         (ceil (float_of_int (total_data g) *. slack /. float_of_int k)))
+  in
+  Fulib.Table.with_mem_capacity table (Array.make k cap)
+
+(* Loose: every type can hold the whole graph's data, so the bounded code
+   paths run but no assignment is ever pruned — the preset behind the
+   "bounded-but-non-constraining equals unbounded" differential tests. *)
+let mem_loose g table =
+  let k = Fulib.Table.num_types table in
+  Fulib.Table.with_mem_capacity table (Array.make k (total_data g))
+
 let random_arbitrary rng ~library ~num_nodes ~max_time ~max_cost =
   let k = Fulib.Library.num_types library in
   let row _ =

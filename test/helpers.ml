@@ -7,12 +7,12 @@ let lib3 = Fulib.Library.standard3
 let graph ?ops n edges =
   let names = Array.init n (fun i -> Printf.sprintf "v%d" i) in
   Dfg.Graph.of_edges ~names ?ops
-    (List.map (fun (src, dst) -> { Dfg.Graph.src; dst; delay = 0 }) edges)
+    (List.map (fun (src, dst) -> { Dfg.Graph.src; dst; delay = 0; size = 0 }) edges)
 
 let graph_with_delays ?ops n edges =
   let names = Array.init n (fun i -> Printf.sprintf "v%d" i) in
   Dfg.Graph.of_edges ~names ?ops
-    (List.map (fun (src, dst, delay) -> { Dfg.Graph.src; dst; delay }) edges)
+    (List.map (fun (src, dst, delay) -> { Dfg.Graph.src; dst; delay; size = 0 }) edges)
 
 let path_graph n = graph n (List.init (n - 1) (fun i -> (i, i + 1)))
 

@@ -198,6 +198,37 @@ let mutations_on_random_dfgs =
           mutate "random" g tbl ~deadline r;
           true)
 
+(* --- Check.Memory: clean results, differential, mutation ------------------ *)
+
+(* Each paper benchmark gets data sizes and a loose (never-pruning) finite
+   capacity, so the memory oracle runs for real: clean solves must audit
+   clean, the oracle's independently derived peaks must equal the
+   production accounting, and the shrink_mem_capacity mutant must be
+   flagged with the static load code. *)
+let test_memory_oracle () =
+  List.iter
+    (fun (name, g, tbl) ->
+      let rng = Workloads.Prng.create (Core.Experiments.seed_of_name name) in
+      let g = Workloads.Random_dfg.with_sizes rng g in
+      let loose = Workloads.Tables.mem_loose g tbl in
+      let deadline = mid_deadline g loose in
+      let r = synthesize name g loose ~deadline in
+      let b = Sched.Binding.bind loose r.schedule in
+      check_ok (name ^ " memory") (Check.Memory.check g loose r.schedule b);
+      Alcotest.(check bool)
+        (name ^ ": oracle peaks == Binding.peak_memory")
+        true
+        (Check.Memory.peaks g loose r.schedule b
+        = Sched.Binding.peak_memory ~graph:g loose r.schedule b);
+      match Check.Mutate.shrink_mem_capacity g loose r.assignment with
+      | None -> Alcotest.failf "%s: no shrink_mem_capacity site" name
+      | Some (what, shrunk) ->
+          check_caught
+            (Printf.sprintf "%s shrink_mem_capacity (%s)" name what)
+            ~code:"mem-load-over-capacity"
+            (Check.Memory.check g shrunk r.schedule b))
+    (bench_instances ())
+
 (* --- Check.Cyclic vs the scheduler's own legality test -------------------- *)
 
 let test_cyclic_differential () =
@@ -314,6 +345,8 @@ let () =
         [
           quick "all classes caught on benchmarks" test_mutations_on_benchmarks;
           QCheck_alcotest.to_alcotest mutations_on_random_dfgs;
+          quick "memory oracle: clean, differential, mutants"
+            test_memory_oracle;
         ] );
       ( "cyclic",
         [ quick "differential vs is_legal_period" test_cyclic_differential ] );

@@ -66,6 +66,7 @@ let graph_constructor_total =
               Dfg.Graph.src = Workloads.Prng.int rng 8 - 1;
               dst = Workloads.Prng.int rng 8 - 1;
               delay = Workloads.Prng.int rng 4 - 1;
+              size = 0;
             })
       in
       match Dfg.Graph.of_edges ~names edges with

@@ -59,11 +59,12 @@ let test_unfolding_equivalence_on_random_graphs () =
               Dfg.Graph.src = Workloads.Prng.int rng n;
               dst = Workloads.Prng.int rng n;
               delay = 1 + Workloads.Prng.int rng 2;
+              size = 0;
             })
     in
     let edges =
       List.filter
-        (fun { Dfg.Graph.src; dst; delay } -> not (src = dst && delay = 0))
+        (fun { Dfg.Graph.src; dst; delay; _ } -> not (src = dst && delay = 0))
         edges
     in
     let g =

@@ -4,7 +4,7 @@ let graphs_equal g1 g2 =
   let edges g =
     List.sort compare
       (List.map
-         (fun { Dfg.Graph.src; dst; delay } ->
+         (fun { Dfg.Graph.src; dst; delay; _ } ->
            (Dfg.Graph.name g src, Dfg.Graph.name g dst, delay))
          (Dfg.Graph.edges g))
   in

@@ -194,7 +194,7 @@ let retiming_sound =
       let g0 = Workloads.Random_dfg.random_dag rng ~n ~extra_edges:2 in
       (* add a delayed back edge to make it cyclic *)
       let edges =
-        { Dfg.Graph.src = n - 1; dst = 0; delay = 1 + Workloads.Prng.int rng 3 }
+        { Dfg.Graph.src = n - 1; dst = 0; delay = 1 + Workloads.Prng.int rng 3; size = 0 }
         :: Dfg.Graph.edges g0
       in
       let g =

@@ -98,7 +98,7 @@ let netlist_roundtrip =
       let edges gr =
         List.sort compare
           (List.map
-             (fun { Dfg.Graph.src; dst; delay } ->
+             (fun { Dfg.Graph.src; dst; delay; _ } ->
                (Dfg.Graph.name gr src, Dfg.Graph.name gr dst, delay))
              (Dfg.Graph.edges gr))
       in

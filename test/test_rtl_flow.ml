@@ -129,7 +129,7 @@ let test_verilog_operator_mapping () =
 let test_verilog_sanitizes_names () =
   let names = [| "a*x"; "b x" |] in
   let g =
-    Dfg.Graph.of_edges ~names [ { Dfg.Graph.src = 0; dst = 1; delay = 0 } ]
+    Dfg.Graph.of_edges ~names [ { Dfg.Graph.src = 0; dst = 1; delay = 0; size = 0 } ]
   in
   let tbl = table lib2 [ ([ 1; 1 ], [ 1; 1 ]); ([ 1; 1 ], [ 1; 1 ]) ] in
   let s = { Sched.Schedule.start = [| 0; 1 |]; assignment = [| 0; 0 |] } in

@@ -189,7 +189,7 @@ let test_rotation_retiming_consistent () =
       let edges gr =
         List.sort compare
           (List.map
-             (fun { Dfg.Graph.src; dst; delay } -> (src, dst, delay))
+             (fun { Dfg.Graph.src; dst; delay; _ } -> (src, dst, delay))
              (Dfg.Graph.edges gr))
       in
       Alcotest.(check (list (triple int int int)))

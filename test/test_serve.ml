@@ -58,10 +58,10 @@ let test_digest_sensitivity () =
    on the same cache entry. *)
 let diamond_edges =
   [
-    { Dfg.Graph.src = 0; dst = 2; delay = 0 };
-    { Dfg.Graph.src = 1; dst = 2; delay = 0 };
-    { Dfg.Graph.src = 2; dst = 3; delay = 0 };
-    { Dfg.Graph.src = 2; dst = 4; delay = 0 };
+    { Dfg.Graph.src = 0; dst = 2; delay = 0; size = 0 };
+    { Dfg.Graph.src = 1; dst = 2; delay = 0; size = 0 };
+    { Dfg.Graph.src = 2; dst = 3; delay = 0; size = 0 };
+    { Dfg.Graph.src = 2; dst = 4; delay = 0; size = 0 };
   ]
 
 let diamond edges =

@@ -97,7 +97,7 @@ let test_transpose_involutive () =
   let edges gr =
     List.sort compare
       (List.map
-         (fun { Dfg.Graph.src; dst; delay } -> (src, dst, delay))
+         (fun { Dfg.Graph.src; dst; delay; _ } -> (src, dst, delay))
          (Dfg.Graph.edges gr))
   in
   Alcotest.(check (list (triple int int int))) "involution" (edges g) (edges back)
@@ -142,8 +142,8 @@ let test_dot_escaping () =
   let ops = [| "mul\"op"; "op"; "op" |] in
   let g =
     Dfg.Graph.of_edges ~names ~ops
-      [ { Dfg.Graph.src = 0; dst = 2; delay = 0 };
-        { Dfg.Graph.src = 1; dst = 2; delay = 0 } ]
+      [ { Dfg.Graph.src = 0; dst = 2; delay = 0; size = 0 };
+        { Dfg.Graph.src = 1; dst = 2; delay = 0; size = 0 } ]
   in
   let dot = Dfg.Dot.to_dot ~label:(fun v -> Printf.sprintf "t=\"%d\"" v) g in
   let contains needle =

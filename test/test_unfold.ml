@@ -94,7 +94,7 @@ let test_inter_iteration_edge_wraps () =
   let u = Dfg.Unfold.unfold g ~factor:2 in
   let find src dst =
     List.find_map
-      (fun { Dfg.Graph.src = s; dst = d; delay } ->
+      (fun { Dfg.Graph.src = s; dst = d; delay; _ } ->
         if s = src && d = dst then Some delay else None)
       (Dfg.Graph.edges u)
   in
