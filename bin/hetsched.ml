@@ -226,48 +226,103 @@ let gantt_cmd =
     (Cmd.info "gantt" ~doc:"Render the bound schedule as an ASCII Gantt chart")
     Term.(const run $ benchmark_opt_arg $ seed_arg $ algo_arg $ deadline_arg $ file_arg)
 
+(* --- serving: shared plumbing for serve / daemon / client ------------- *)
+
+(* benchmark names resolve against the extended suite, so serve batches
+   can mix the paper's six with fir/iir/fft extension workloads *)
+let serve_lookup name ~seed =
+  Option.map
+    (fun g -> (g, table_for ~seed g))
+    (List.assoc_opt name (Workloads.Filters.extended ()))
+
+let serve_in_arg =
+  let doc = "Read JSONL requests from $(docv) ($(b,-) for stdin)." in
+  Arg.(value & opt string "-" & info [ "in"; "i" ] ~docv:"FILE" ~doc)
+
+let serve_out_arg =
+  let doc = "Write JSONL responses to $(docv) ($(b,-) for stdout)." in
+  Arg.(value & opt string "-" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+
+let serve_domains_arg =
+  let doc = "Domain-pool size for sharded dispatch (default: HETSCHED_DOMAINS)." in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~doc)
+
+let cache_entries_arg =
+  let doc = "Result-cache capacity (default: HETSCHED_CACHE_ENTRIES or 512)." in
+  Arg.(value & opt (some int) None & info [ "cache-entries" ] ~doc)
+
+let cache_shards_arg =
+  let doc = "Result-cache shard count (default: HETSCHED_CACHE_SHARDS or 8)." in
+  Arg.(value & opt (some int) None & info [ "shards" ] ~doc)
+
+let no_cache_arg =
+  let doc = "Disable the content-addressed result cache." in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let queue_arg =
+  let doc =
+    "Requests per dispatch wave (bounded queue capacity; the daemon's \
+     admission window)."
+  in
+  Arg.(value & opt int Serve.Server.default_queue_capacity & info [ "queue" ] ~doc)
+
+let make_server ~domains ~cache_entries ~cache_shards ~no_cache ~queue =
+  (match domains with
+  | Some n -> Par.Pool.set_global_domains n
+  | None -> ());
+  let cache =
+    if no_cache then Serve.Cache.create ~entries:1 ()
+    else Serve.Cache.create ?entries:cache_entries ?shards:cache_shards ()
+  in
+  Serve.Server.create ~cache ~queue_capacity:queue ()
+
+let fmt_ns ns =
+  if ns < 1e3 then Printf.sprintf "%.0fns" ns
+  else if ns < 1e6 then Printf.sprintf "%.1fus" (ns /. 1e3)
+  else if ns < 1e9 then Printf.sprintf "%.1fms" (ns /. 1e6)
+  else Printf.sprintf "%.2fs" (ns /. 1e9)
+
+(* end-of-run summary: the operational counters an operator actually scans
+   for, one fixed line each, the latency quantiles when anything was
+   timed, then any remaining serve.* counters *)
+let serve_summary ~served () =
+  Printf.eprintf "served %d request(s)\n" served;
+  let v name = Option.value (Obs.Counter.value_of name) ~default:0 in
+  Printf.eprintf "cache: %d hit(s), %d miss(es), %d eviction(s)\n"
+    (v "serve.cache.hit") (v "serve.cache.miss") (v "serve.cache.evict");
+  Printf.eprintf "malformed input lines: %d\n"
+    (v "serve.jsonl.malformed" + v "serve.daemon.malformed");
+  let h = Serve.Daemon.latency_histogram () in
+  if Obs.Histogram.count h > 0 then
+    Printf.eprintf "latency: %d timed, mean %s, p50 %s, p90 %s, p99 %s\n"
+      (Obs.Histogram.count h)
+      (fmt_ns (Obs.Histogram.mean h))
+      (fmt_ns (Obs.Histogram.quantile h 0.50))
+      (fmt_ns (Obs.Histogram.quantile h 0.90))
+      (fmt_ns (Obs.Histogram.quantile h 0.99));
+  let summarised =
+    [
+      "serve.cache.hit"; "serve.cache.miss"; "serve.cache.evict";
+      "serve.jsonl.malformed"; "serve.daemon.malformed";
+    ]
+  in
+  (* zero-valued counters are omitted from the tail: with a sharded cache
+     there are four cells per shard and an idle shard says nothing *)
+  List.iter
+    (fun (name, v) ->
+      if
+        v > 0
+        && String.length name >= 6
+        && String.sub name 0 6 = "serve."
+        && not (List.mem name summarised)
+      then Printf.eprintf "  %s: %d\n" name v)
+    (Obs.Counter.snapshot ())
+
 let serve_cmd =
-  let in_arg =
-    let doc = "Read JSONL requests from $(docv) ($(b,-) for stdin)." in
-    Arg.(value & opt string "-" & info [ "in"; "i" ] ~docv:"FILE" ~doc)
-  in
-  let out_arg =
-    let doc = "Write JSONL responses to $(docv) ($(b,-) for stdout)." in
-    Arg.(value & opt string "-" & info [ "out"; "o" ] ~docv:"FILE" ~doc)
-  in
-  let domains_arg =
-    let doc = "Domain-pool size for sharded dispatch (default: HETSCHED_DOMAINS)." in
-    Arg.(value & opt (some int) None & info [ "domains" ] ~doc)
-  in
-  let cache_entries_arg =
-    let doc = "Result-cache capacity (default: HETSCHED_CACHE_ENTRIES or 512)." in
-    Arg.(value & opt (some int) None & info [ "cache-entries" ] ~doc)
-  in
-  let no_cache_arg =
-    let doc = "Disable the content-addressed result cache." in
-    Arg.(value & flag & info [ "no-cache" ] ~doc)
-  in
-  let queue_arg =
-    let doc = "Requests per dispatch wave (bounded queue capacity)." in
-    Arg.(value & opt int Serve.Server.default_queue_capacity
-         & info [ "queue" ] ~doc)
-  in
-  (* benchmark names resolve against the extended suite, so serve batches
-     can mix the paper's six with fir/iir/fft extension workloads *)
-  let lookup name ~seed =
-    Option.map
-      (fun g -> (g, table_for ~seed g))
-      (List.assoc_opt name (Workloads.Filters.extended ()))
-  in
-  let run input output domains cache_entries no_cache queue =
-    (match domains with
-    | Some n -> Par.Pool.set_global_domains n
-    | None -> ());
-    let cache =
-      if no_cache then Serve.Cache.create ~entries:1 ()
-      else Serve.Cache.create ?entries:cache_entries ()
+  let run input output domains cache_entries cache_shards no_cache queue =
+    let server =
+      make_server ~domains ~cache_entries ~cache_shards ~no_cache ~queue
     in
-    let server = Serve.Server.create ~cache ~queue_capacity:queue () in
     let with_input f =
       if input = "-" then f stdin
       else
@@ -282,36 +337,78 @@ let serve_cmd =
     in
     let served =
       with_input @@ fun input ->
-      with_output @@ fun output -> Serve.Jsonl.serve ~lookup server ~input ~output
+      with_output @@ fun output ->
+      Serve.Jsonl.serve ~lookup:serve_lookup server ~input ~output
     in
-    Printf.eprintf "served %d request(s)\n" served;
-    (* end-of-batch summary: the operational counters an operator actually
-       scans for, one fixed line each, then any remaining serve.* counters *)
-    let v name = Option.value (Obs.Counter.value_of name) ~default:0 in
-    Printf.eprintf "cache: %d hit(s), %d miss(es), %d eviction(s)\n"
-      (v "serve.cache.hit") (v "serve.cache.miss") (v "serve.cache.evict");
-    Printf.eprintf "malformed input lines: %d\n" (v "serve.jsonl.malformed");
-    let summarised =
-      [
-        "serve.cache.hit"; "serve.cache.miss"; "serve.cache.evict";
-        "serve.jsonl.malformed";
-      ]
-    in
-    List.iter
-      (fun (name, v) ->
-        if
-          String.length name >= 6
-          && String.sub name 0 6 = "serve."
-          && not (List.mem name summarised)
-        then Printf.eprintf "  %s: %d\n" name v)
-      (Obs.Counter.snapshot ())
+    serve_summary ~served ()
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Batch synthesis service: JSONL requests in, JSONL responses out \
              (content-addressed cache, sharded over a domain pool)")
-    Term.(const run $ in_arg $ out_arg $ domains_arg $ cache_entries_arg
-          $ no_cache_arg $ queue_arg)
+    Term.(const run $ serve_in_arg $ serve_out_arg $ serve_domains_arg
+          $ cache_entries_arg $ cache_shards_arg $ no_cache_arg $ queue_arg)
+
+let socket_arg =
+  let doc =
+    "Unix-domain socket path ($(b,-) for a stdin/stdout streaming session)."
+  in
+  Arg.(value & opt string "-" & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let daemon_cmd =
+  let connections_arg =
+    let doc = "Exit after $(docv) connections (default: accept forever)." in
+    Arg.(value & opt (some int) None & info [ "connections" ] ~docv:"N" ~doc)
+  in
+  let run socket connections domains cache_entries cache_shards no_cache queue =
+    let server =
+      make_server ~domains ~cache_entries ~cache_shards ~no_cache ~queue
+    in
+    let daemon = Serve.Daemon.create ~lookup:serve_lookup server in
+    let served =
+      if socket = "-" then
+        Serve.Daemon.serve_fd daemon ~input:Unix.stdin ~output:Unix.stdout
+      else Serve.Daemon.listen ?connections daemon ~path:socket ()
+    in
+    serve_summary ~served ()
+  in
+  Cmd.v
+    (Cmd.info "daemon"
+       ~doc:"Always-on synthesis daemon: streaming JSONL admission over a \
+             Unix-domain socket (or stdio), busy-shedding backpressure, \
+             p50/p99 latency summary")
+    Term.(const run $ socket_arg $ connections_arg $ serve_domains_arg
+          $ cache_entries_arg $ cache_shards_arg $ no_cache_arg $ queue_arg)
+
+let client_cmd =
+  let run socket input output =
+    if socket = "-" then begin
+      Printf.eprintf "hetsched client: --socket must name a daemon socket\n";
+      exit 2
+    end;
+    let with_input f =
+      if input = "-" then f stdin
+      else
+        let ic = open_in input in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+    in
+    let with_output f =
+      if output = "-" then f stdout
+      else
+        let oc = open_out output in
+        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+    in
+    let received =
+      with_input @@ fun input ->
+      with_output @@ fun output -> Serve.Daemon.call ~path:socket ~input ~output
+    in
+    Printf.eprintf "received %d response line(s)\n" received
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Stream JSONL requests to a running hetsched daemon and copy \
+             the response lines back")
+    Term.(const run $ socket_arg $ serve_in_arg $ serve_out_arg)
 
 let csv_cmd =
   let which =
@@ -333,4 +430,4 @@ let () =
     Cmd.info "hetsched"
       ~doc:"Heterogeneous FU assignment and scheduling for real-time DSP"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; dot_cmd; synth_cmd; frontier_cmd; netlist_cmd; csv_cmd; compile_cmd; gantt_cmd; analyze_cmd; serve_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; dot_cmd; synth_cmd; frontier_cmd; netlist_cmd; csv_cmd; compile_cmd; gantt_cmd; analyze_cmd; serve_cmd; daemon_cmd; client_cmd ]))

@@ -1,0 +1,71 @@
+(** Fixed log-scale histograms registered by name — the latency primitive.
+
+    A histogram is {!num_buckets} independent atomic cells over a
+    power-of-two scale: bucket 0 counts observations below 1 ns, bucket
+    [i >= 1] counts observations in [[2^(i-1), 2^i)] ns. {!observe} is one
+    log2 plus a fetch-and-add on the owning cell — lock-free, allocation
+    free, safe from concurrent domains, and mergeable because addition
+    commutes. Like {!Counter}, histograms are process-global and live in a
+    registry keyed by name.
+
+    Quantile estimates come from the bucket counts: the reported value for
+    a quantile is the geometric midpoint of the bucket holding the ranked
+    observation, so the estimate is within a factor of [sqrt 2] of the
+    true value — plenty for p50/p99 latency summaries over a scale that
+    spans nanoseconds to minutes. *)
+
+type t
+
+val num_buckets : int
+
+(** [make name] registers (or finds) the histogram [name]. Idempotent:
+    the same name always yields the same cells. *)
+val make : string -> t
+
+val name : t -> string
+
+(** [observe h ns] — record one observation of [ns] nanoseconds.
+    Negative, zero and non-finite values land in bucket 0 and contribute
+    nothing to {!sum}. *)
+val observe : t -> float -> unit
+
+(** Index of the bucket a value lands in. *)
+val bucket_of_ns : float -> int
+
+(** Exclusive upper bound of bucket [i] in ns. *)
+val bucket_upper : int -> float
+
+(** Total observations. *)
+val count : t -> int
+
+(** Sum of all observed values, in ns (truncated to whole ns each). *)
+val sum : t -> float
+
+val mean : t -> float
+
+(** Snapshot of the bucket counts (a fresh array, length {!num_buckets}). *)
+val buckets : t -> int array
+
+(** [quantile h q] with [q] in [[0, 1]] — e.g. [quantile h 0.99] is the
+    p99 estimate in ns. [0.0] when the histogram is empty. Raises
+    [Invalid_argument] when [q] is outside [[0, 1]]. *)
+val quantile : t -> float -> float
+
+(** {!quantile} over a raw bucket snapshot — diff two {!buckets} arrays
+    to get the quantiles of just the observations made in between. *)
+val quantile_of_buckets : int array -> float -> float
+
+(** [merge_into ~src ~dst] adds [src]'s counts and sum into [dst]
+    (atomically per cell; [src] is unchanged). *)
+val merge_into : src:t -> dst:t -> unit
+
+(** Zero one histogram / every registered histogram. *)
+val reset : t -> unit
+
+val reset_all : unit -> unit
+
+(** Look a histogram up by name; [None] when never registered. *)
+val value_of : string -> t option
+
+(** All registered histograms, sorted by name. *)
+val snapshot : unit -> (string * t) list

@@ -7,6 +7,16 @@ let rec span_to_json (s : Span.t) : Json.t =
       ("children", Json.List (List.map span_to_json s.Span.children));
     ]
 
+let histogram_to_json h =
+  Json.Obj
+    [
+      ("count", Json.Int (Histogram.count h));
+      ("mean_ns", Json.Float (Histogram.mean h));
+      ("p50_ns", Json.Float (Histogram.quantile h 0.5));
+      ("p90_ns", Json.Float (Histogram.quantile h 0.9));
+      ("p99_ns", Json.Float (Histogram.quantile h 0.99));
+    ]
+
 let snapshot () =
   Json.Obj
     [
@@ -16,6 +26,11 @@ let snapshot () =
       ( "gauges",
         Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) (Gauge.snapshot ()))
       );
+      ( "histograms",
+        Json.Obj
+          (List.map
+             (fun (n, h) -> (n, histogram_to_json h))
+             (Histogram.snapshot ())) );
       ( "spans",
         Json.List
           (List.map
@@ -28,7 +43,8 @@ let snapshot () =
 let reset () =
   Span.clear ();
   Counter.reset_all ();
-  Gauge.reset_all ()
+  Gauge.reset_all ();
+  Histogram.reset_all ()
 
 let write ~path =
   let oc = open_out path in

@@ -1,17 +1,21 @@
 (** Trace assembly: the completed span roots plus a snapshot of every
-    counter and gauge, as one JSON document
+    counter, gauge and histogram, as one JSON document
 
     {v
-    { "counters": {name: int, ...},
-      "gauges":   {name: int, ...},
-      "spans":    [{"domain": d, "span": {name, start_ns, dur_ns, children}}, ...] }
+    { "counters":   {name: int, ...},
+      "gauges":     {name: int, ...},
+      "histograms": {name: {count, mean_ns, p50_ns, p90_ns, p99_ns}, ...},
+      "spans":      [{"domain": d, "span": {name, start_ns, dur_ns, children}}, ...] }
     v} *)
 
 val span_to_json : Span.t -> Json.t
 
+(** The per-histogram summary object embedded in {!snapshot}. *)
+val histogram_to_json : Histogram.t -> Json.t
+
 val snapshot : unit -> Json.t
 
-(** Clear the span sink and zero all counters and gauges. *)
+(** Clear the span sink and zero all counters, gauges and histograms. *)
 val reset : unit -> unit
 
 (** Write {!snapshot} to [path]. *)

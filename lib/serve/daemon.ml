@@ -1,0 +1,219 @@
+let requests = Obs.Counter.make "serve.daemon.requests"
+let busy = Obs.Counter.make "serve.daemon.busy"
+let served = Obs.Counter.make "serve.daemon.served"
+let connections = Obs.Counter.make "serve.daemon.connections"
+let malformed = Obs.Counter.make "serve.daemon.malformed"
+let latency = Obs.Histogram.make "serve.daemon.latency_ns"
+let latency_histogram () = latency
+
+type t = { server : Server.t; lookup : Jsonl.lookup option }
+
+let create ?lookup server = { server; lookup }
+let server t = t.server
+
+let now_ns () = Unix.gettimeofday () *. 1e9
+
+(* --- raw-fd line reader ---------------------------------------------- *)
+
+(* The admission loop needs to distinguish "no line ready right now" from
+   "no line ever again": input that is merely slow must not stall the
+   drain of already-admitted requests. in_channel cannot express that, so
+   lines are assembled by hand from Unix.read with a zero-timeout select
+   probing readability. *)
+
+type read_result = Line of string | Would_block | Eof
+
+type reader = {
+  fd : Unix.file_descr;
+  mutable acc : string; (* bytes read but not yet returned *)
+  mutable at_eof : bool;
+  chunk : Bytes.t;
+}
+
+let reader fd = { fd; acc = ""; at_eof = false; chunk = Bytes.create 4096 }
+
+let rec readable_now fd =
+  match Unix.select [ fd ] [] [] 0.0 with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> readable_now fd
+
+let rec read_chunk r =
+  match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
+  | 0 -> r.at_eof <- true
+  | n -> r.acc <- r.acc ^ Bytes.sub_string r.chunk 0 n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_chunk r
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      r.at_eof <- true
+
+(* [take_line r ~block]: the next full line if one is buffered or can be
+   obtained without waiting; [Would_block] when [block] is false and the
+   peer has sent nothing further yet; [Eof] once the peer is done (a final
+   unterminated line is still delivered first). *)
+let rec take_line r ~block =
+  match String.index_opt r.acc '\n' with
+  | Some i ->
+      let line = String.sub r.acc 0 i in
+      r.acc <- String.sub r.acc (i + 1) (String.length r.acc - i - 1);
+      Line line
+  | None ->
+      if r.at_eof then
+        if r.acc = "" then Eof
+        else begin
+          let line = r.acc in
+          r.acc <- "";
+          Line line
+        end
+      else if block || readable_now r.fd then begin
+        read_chunk r;
+        take_line r ~block
+      end
+      else Would_block
+
+(* --- writes ----------------------------------------------------------- *)
+
+let rec write_all fd s off len =
+  if len > 0 then
+    match Unix.write_substring fd s off len with
+    | n -> write_all fd s (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd s off len
+
+(* One write per line: lines under PIPE_BUF land atomically in pipes, so
+   interleaved readers never see torn responses. *)
+let emit fd line = write_all fd (line ^ "\n") 0 (String.length line + 1)
+
+(* --- admission loop --------------------------------------------------- *)
+
+(* Policy: admit request lines as fast as they arrive; when the server's
+   bounded queue is full, shed the request with a "busy" line instead of
+   blocking or dropping it. Drain — and stream the responses back — the
+   moment input is not immediately available, and block for more input
+   only when nothing is in flight. Within one burst this yields exactly
+   [queue_capacity] solved responses and a busy line per overflow. *)
+let serve_fd t ~input ~output =
+  Obs.Counter.incr connections;
+  let r = reader input in
+  let pending : (Obs.Json.t * float) Queue.t = Queue.create () in
+  let written = ref 0 in
+  let send line =
+    emit output line;
+    incr written
+  in
+  let flush_pending () =
+    if not (Queue.is_empty pending) then begin
+      let responses = Server.drain t.server in
+      List.iter
+        (fun resp ->
+          let id, t0 = Queue.pop pending in
+          Obs.Histogram.observe latency (now_ns () -. t0);
+          Obs.Counter.incr served;
+          send (Jsonl.response_to_string ~id resp))
+        responses;
+      if not (Queue.is_empty pending) then
+        invalid_arg "Serve.Daemon.serve_fd: drain/pending mismatch"
+    end
+  in
+  let line_no = ref 0 in
+  let rec loop () =
+    match take_line r ~block:(Queue.is_empty pending) with
+    | Line s ->
+        incr line_no;
+        if String.trim s <> "" then begin
+          match Jsonl.request_of_string ?lookup:t.lookup ~line:!line_no s with
+          | Error msg ->
+              Obs.Counter.incr malformed;
+              send (Jsonl.error_to_string ~id:(Obs.Json.Int !line_no) msg)
+          | Ok item ->
+              Obs.Counter.incr requests;
+              if Server.try_submit t.server item.Jsonl.request then
+                Queue.add (item.Jsonl.id, now_ns ()) pending
+              else begin
+                Obs.Counter.incr busy;
+                send (Jsonl.busy_to_string ~id:item.Jsonl.id)
+              end
+        end;
+        loop ()
+    | Would_block ->
+        flush_pending ();
+        loop ()
+    | Eof -> flush_pending ()
+  in
+  loop ();
+  !written
+
+(* --- unix-domain socket listener -------------------------------------- *)
+
+let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let listen ?connections:limit t ~path () =
+  (match limit with
+  | Some n when n < 1 ->
+      invalid_arg (Printf.sprintf "Serve.Daemon.listen: connections %d < 1" n)
+  | _ -> ());
+  unlink_quiet path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      unlink_quiet path)
+  @@ fun () ->
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 16;
+  (* Connections are served one at a time: a connection is a batch
+     session, and the server's pool is busy solving it anyway. Later
+     arrivals queue in the kernel backlog until accept. *)
+  let total = ref 0 in
+  let rec accept_loop remaining =
+    if remaining <> Some 0 then begin
+      match Unix.accept sock with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop remaining
+      | fd, _ ->
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () -> total := !total + serve_fd t ~input:fd ~output:fd);
+          accept_loop (Option.map (fun n -> n - 1) remaining)
+    end
+  in
+  accept_loop limit;
+  !total
+
+(* --- client ------------------------------------------------------------ *)
+
+let count_newlines s =
+  String.fold_left (fun acc c -> if c = '\n' then acc + 1 else acc) 0 s
+
+let call ~path ~input ~output =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.connect sock (Unix.ADDR_UNIX path);
+  (* A separate domain pushes request lines while this one pulls response
+     lines, so neither side of the socket can deadlock on a full pipe. *)
+  let writer =
+    Domain.spawn (fun () ->
+        let rec push () =
+          match input_line input with
+          | line ->
+              write_all sock (line ^ "\n") 0 (String.length line + 1);
+              push ()
+          | exception End_of_file -> Unix.shutdown sock Unix.SHUTDOWN_SEND
+        in
+        push ())
+  in
+  let buf = Bytes.create 4096 in
+  let count = ref 0 in
+  let rec pull () =
+    match Unix.read sock buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+        let s = Bytes.sub_string buf 0 n in
+        output_string output s;
+        count := !count + count_newlines s;
+        pull ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> pull ()
+  in
+  pull ();
+  Domain.join writer;
+  flush output;
+  !count

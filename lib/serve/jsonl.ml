@@ -277,6 +277,9 @@ let error_to_string ~id msg =
     (J.Obj
        [ ("id", id); ("status", J.String "error"); ("error", J.String msg) ])
 
+let busy_to_string ~id =
+  J.to_string (J.Obj [ ("id", id); ("status", J.String "busy") ])
+
 (* --- channel driver -------------------------------------------------- *)
 
 let read_lines input =

@@ -63,6 +63,11 @@ val response_to_string : id:Obs.Json.t -> Core.Synthesis.response -> string
     cannot be parsed: [{"id": ..., "status": "error", "error": msg}]. *)
 val error_to_string : id:Obs.Json.t -> string -> string
 
+(** The load-shed line the daemon emits when its admission queue is full:
+    [{"id": ..., "status": "busy"}]. The request was not solved and not
+    queued — the client owns the retry. *)
+val busy_to_string : id:Obs.Json.t -> string
+
 (** [serve ?lookup server ~input ~output] — read request lines from
     [input] until EOF, solve them through [server] in waves (batched via
     {!Server.solve_batch}, sharded over the server's pool), and write one

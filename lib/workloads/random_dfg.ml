@@ -82,8 +82,13 @@ let with_sizes rng ?(min_size = 1) ?(max_size = 8) g =
 
 (* The parent rng is split once per graph on the calling domain (split
    advances the parent, so the streams are a pure function of the parent's
-   state and the index); only the generation itself fans out. *)
-let batch ?pool rng ~count gen =
+   state and the index); only the generation itself fans out. Graphs are
+   generated in chunks — one pool task per chunk, not per graph — because
+   a single small DAG is far cheaper than a task submission: per-graph
+   fan-out loses to the sequential loop on typical sizes. The default is
+   two chunks per domain, enough slack to balance uneven graphs while
+   keeping per-task overhead amortized over the whole chunk. *)
+let batch ?pool ?chunk rng ~count gen =
   if count < 0 then invalid_arg "Random_dfg.batch: count < 0";
   let pool = match pool with Some p -> p | None -> Par.Pool.global () in
   if count = 0 then [||]
@@ -92,11 +97,29 @@ let batch ?pool rng ~count gen =
     for i = 0 to count - 1 do
       streams.(i) <- Prng.split rng
     done;
-    Par.Pool.map_array pool gen streams
+    let chunk =
+      match chunk with
+      | Some c ->
+          if c < 1 then invalid_arg "Random_dfg.batch: chunk < 1";
+          c
+      | None ->
+          let tasks = 2 * Par.Pool.domain_count pool in
+          max 1 ((count + tasks - 1) / tasks)
+    in
+    let num_chunks = (count + chunk - 1) / chunk in
+    let gen_chunk lo =
+      let hi = min count (lo + chunk) in
+      Array.init (hi - lo) (fun k -> gen streams.(lo + k))
+    in
+    let parts =
+      Par.Pool.map_array pool gen_chunk
+        (Array.init num_chunks (fun c -> c * chunk))
+    in
+    Array.concat (Array.to_list parts)
   end
 
-let batch_dags ?pool rng ~count ~n ~extra_edges =
-  batch ?pool rng ~count (fun stream -> random_dag stream ~n ~extra_edges)
+let batch_dags ?pool ?chunk rng ~count ~n ~extra_edges =
+  batch ?pool ?chunk rng ~count (fun stream -> random_dag stream ~n ~extra_edges)
 
 let random_layered rng ~layers ~width ~edge_prob =
   if layers < 1 || width < 1 then

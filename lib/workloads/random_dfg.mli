@@ -21,23 +21,30 @@ val random_dag : Prng.t -> n:int -> extra_edges:int -> Dfg.Graph.t
 val with_sizes :
   Prng.t -> ?min_size:int -> ?max_size:int -> Dfg.Graph.t -> Dfg.Graph.t
 
-(** [batch ?pool rng ~count gen] generates [count] graphs, each from its
-    own PRNG stream split off [rng] by index on the calling domain, with
-    the generation fanned out over [pool] (default [Par.Pool.global ()]).
-    Bit-identical to the sequential
+(** [batch ?pool ?chunk rng ~count gen] generates [count] graphs, each
+    from its own PRNG stream split off [rng] by index on the calling
+    domain, with the generation fanned out over [pool] (default
+    [Par.Pool.global ()]) in chunks of [chunk] graphs per pool task.
+    [chunk] defaults to two tasks per pool domain
+    ([ceil (count / (2 * domains))]) — one task per {e graph} loses to
+    the sequential loop on typical sizes, the task submission costing
+    more than a small DAG. Bit-identical to the sequential
     [Array.init count (fun _ -> gen (Prng.split rng))] for any domain
-    count. [rng] advances by [count] splits. *)
+    count and any [chunk]. [rng] advances by [count] splits. Raises
+    [Invalid_argument] when [chunk < 1]. *)
 val batch :
   ?pool:Par.Pool.t ->
+  ?chunk:int ->
   Prng.t ->
   count:int ->
   (Prng.t -> Dfg.Graph.t) ->
   Dfg.Graph.t array
 
-(** [batch_dags ?pool rng ~count ~n ~extra_edges] — {!batch} over
+(** [batch_dags ?pool ?chunk rng ~count ~n ~extra_edges] — {!batch} over
     {!random_dag} instances of one shape. *)
 val batch_dags :
   ?pool:Par.Pool.t ->
+  ?chunk:int ->
   Prng.t ->
   count:int ->
   n:int ->

@@ -138,6 +138,9 @@ let test_trace_round_trip () =
           Obs.Span.with_ "trace.child" (fun () -> ())));
   let c = Obs.Counter.make "test.obs.trace_counter" in
   Obs.Counter.add c 5;
+  let h = Obs.Histogram.make "test.obs.trace_hist" in
+  Obs.Histogram.reset h;
+  Obs.Histogram.observe h 500.0;
   let json = Obs.Trace.snapshot () in
   let reparsed = Obs.Json.parse_exn (Obs.Json.to_string json) in
   Alcotest.(check (option int))
@@ -145,6 +148,14 @@ let test_trace_round_trip () =
     (Option.bind
        (Option.bind (Obs.Json.member "counters" reparsed)
           (Obs.Json.member "test.obs.trace_counter"))
+       Obs.Json.to_int_opt);
+  Alcotest.(check (option int))
+    "histogram summary survives the round trip" (Some 1)
+    (Option.bind
+       (Option.bind
+          (Option.bind (Obs.Json.member "histograms" reparsed)
+             (Obs.Json.member "test.obs.trace_hist"))
+          (Obs.Json.member "count"))
        Obs.Json.to_int_opt);
   let span_names =
     match Option.bind (Obs.Json.member "spans" reparsed) Obs.Json.to_list_opt with
@@ -159,6 +170,78 @@ let test_trace_round_trip () =
     | None -> []
   in
   Alcotest.(check (list string)) "root span present" [ "trace.root" ] span_names
+
+(* --- histograms --------------------------------------------------------- *)
+
+let test_histogram_buckets_and_quantiles () =
+  let h = Obs.Histogram.make "test.obs.hist" in
+  Obs.Histogram.reset h;
+  Alcotest.(check int) "empty count" 0 (Obs.Histogram.count h);
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (Obs.Histogram.quantile h 0.5);
+  (* bucket layout: [2^(i-1), 2^i) lands in bucket i *)
+  Alcotest.(check int) "sub-ns" 0 (Obs.Histogram.bucket_of_ns 0.25);
+  Alcotest.(check int) "1ns" 1 (Obs.Histogram.bucket_of_ns 1.0);
+  Alcotest.(check int) "1023ns" 10 (Obs.Histogram.bucket_of_ns 1023.0);
+  Alcotest.(check int) "1024ns" 11 (Obs.Histogram.bucket_of_ns 1024.0);
+  (* 90 fast observations, 10 slow: p50 near 100ns, p99 near 1ms, every
+     estimate within the documented sqrt-2 factor of the true value *)
+  for _ = 1 to 90 do Obs.Histogram.observe h 100.0 done;
+  for _ = 1 to 10 do Obs.Histogram.observe h 1_000_000.0 done;
+  Alcotest.(check int) "count" 100 (Obs.Histogram.count h);
+  let within_factor label expected got =
+    let ratio = got /. expected in
+    if ratio < 1.0 /. sqrt 2.0 || ratio > sqrt 2.0 then
+      Alcotest.failf "%s: %.1f not within sqrt2 of %.1f" label got expected
+  in
+  within_factor "p50" 100.0 (Obs.Histogram.quantile h 0.5);
+  within_factor "p90" 100.0 (Obs.Histogram.quantile h 0.9);
+  within_factor "p99" 1_000_000.0 (Obs.Histogram.quantile h 0.99);
+  within_factor "mean" 100_090.0 (Obs.Histogram.mean h);
+  (* the diffable-snapshot path used by the serve-load bench *)
+  let before = Obs.Histogram.buckets h in
+  for _ = 1 to 50 do Obs.Histogram.observe h 1_000_000.0 done;
+  let delta =
+    Array.mapi (fun i c -> c - before.(i)) (Obs.Histogram.buckets h)
+  in
+  within_factor "delta p50" 1_000_000.0
+    (Obs.Histogram.quantile_of_buckets delta 0.5);
+  Obs.Histogram.reset h;
+  Alcotest.(check int) "reset" 0 (Obs.Histogram.count h)
+
+let test_histogram_merge_and_registry () =
+  let a = Obs.Histogram.make "test.obs.hist_a" in
+  let b = Obs.Histogram.make "test.obs.hist_b" in
+  Obs.Histogram.reset a;
+  Obs.Histogram.reset b;
+  Alcotest.(check bool) "registry idempotent" true
+    (Obs.Histogram.make "test.obs.hist_a" == a);
+  Alcotest.(check bool) "lookup by name" true
+    (match Obs.Histogram.value_of "test.obs.hist_a" with
+    | Some h -> h == a
+    | None -> false);
+  for _ = 1 to 5 do Obs.Histogram.observe a 10.0 done;
+  for _ = 1 to 3 do Obs.Histogram.observe b 1000.0 done;
+  Obs.Histogram.merge_into ~src:a ~dst:b;
+  Alcotest.(check int) "merged count" 8 (Obs.Histogram.count b);
+  Alcotest.(check int) "src unchanged" 5 (Obs.Histogram.count a);
+  Alcotest.(check (float 0.5)) "merged sum" 3050.0 (Obs.Histogram.sum b)
+
+(* observe is an atomic fetch-and-add per cell: hammering one histogram
+   from every domain must lose nothing *)
+let test_histogram_concurrent_observes () =
+  let h = Obs.Histogram.make "test.obs.hist_conc" in
+  Obs.Histogram.reset h;
+  let per_task = 1000 in
+  Par.Pool.with_pool ~domains:4 (fun pool ->
+      ignore
+        (Par.Pool.map_array pool
+           (fun seed ->
+             for i = 1 to per_task do
+               Obs.Histogram.observe h (float_of_int ((seed * i mod 977) + 1))
+             done)
+           (Array.init 8 (fun i -> i + 1))));
+  Alcotest.(check int) "no lost observations" (8 * per_task)
+    (Obs.Histogram.count h)
 
 (* --- counter parity across pool widths --------------------------------- *)
 
@@ -229,6 +312,12 @@ let () =
         [
           quick "counter monotonicity" test_counter_monotonic;
           quick "gauge overwrite" test_gauge_overwrites;
+        ] );
+      ( "histograms",
+        [
+          quick "buckets and quantiles" test_histogram_buckets_and_quantiles;
+          quick "merge and registry" test_histogram_merge_and_registry;
+          quick "concurrent observes" test_histogram_concurrent_observes;
         ] );
       ( "json",
         [

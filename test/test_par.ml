@@ -225,7 +225,22 @@ let test_batch_differential () =
         (Printf.sprintf "graph %d: pool == sequential reference" i)
         true
         (Dfg.Graph.edges g4 = Dfg.Graph.edges ref_graphs.(i)))
-    b4
+    b4;
+  (* chunking is a pure scheduling knob: any chunk size, same graphs *)
+  List.iter
+    (fun chunk ->
+      let bc =
+        Workloads.Random_dfg.batch ~pool:p4 ~chunk (Workloads.Prng.create 7)
+          ~count:12 gen
+      in
+      Array.iteri
+        (fun i g ->
+          Alcotest.(check bool)
+            (Printf.sprintf "graph %d: chunk %d == default" i chunk)
+            true
+            (Dfg.Graph.edges g = Dfg.Graph.edges b4.(i)))
+        bc)
+    [ 1; 5; 12; 100 ]
 
 let test_repeat_search_on_benchmarks () =
   (* the candidate search stays parallel/sequential-identical on every

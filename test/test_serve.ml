@@ -117,8 +117,11 @@ let test_cache_hit_miss_counters () =
   Alcotest.(check int) "one entry" 1 (Serve.Cache.length cache)
 
 let test_cache_lru_eviction () =
-  let cache = Serve.Cache.create ~entries:2 () in
+  (* one shard: eviction order below is the global LRU the test scripts;
+     with more shards LRU is per-shard (covered by the shard tests) *)
+  let cache = Serve.Cache.create ~entries:2 ~shards:1 () in
   Alcotest.(check int) "capacity" 2 (Serve.Cache.capacity cache);
+  Alcotest.(check int) "one shard" 1 (Serve.Cache.shard_count cache);
   let r1 = request (instance ~seed:8) in
   let r2 = request (instance ~seed:9) in
   let r3 = request (instance ~seed:10) in
@@ -151,10 +154,138 @@ let test_entries_from_env () =
   in
   Alcotest.(check int) "unset" Serve.Cache.default_entries (parse None);
   Alcotest.(check int) "empty" Serve.Cache.default_entries (parse (Some ""));
+  (* garbage falls back to the default too, but now warns on stderr
+     (mirrors Par.Pool.domains_from_env's documented edge cases) *)
   Alcotest.(check int) "junk" Serve.Cache.default_entries (parse (Some "junk"));
   Alcotest.(check int) "trimmed" 7 (parse (Some " 7 "));
   Alcotest.(check int) "zero clamps to 1" 1 (parse (Some "0"));
   Alcotest.(check int) "negative clamps to 1" 1 (parse (Some "-3"))
+
+let test_shards_from_env () =
+  let parse v = Serve.Cache.shards_from_env ~getenv:(fun _ -> v) () in
+  Alcotest.(check int) "unset" Serve.Cache.default_shards (parse None);
+  Alcotest.(check int) "junk warns, default" Serve.Cache.default_shards
+    (parse (Some "garbage"));
+  Alcotest.(check int) "value" 16 (parse (Some "16"));
+  Alcotest.(check int) "zero clamps to 1" 1 (parse (Some "0"));
+  Alcotest.(check int) "cap" Serve.Cache.max_shards (parse (Some "9999"))
+
+(* --- sharding ----------------------------------------------------------- *)
+
+let test_shard_routing () =
+  let cache = Serve.Cache.create ~entries:256 ~shards:8 () in
+  Alcotest.(check int) "shard count" 8 (Serve.Cache.shard_count cache);
+  (* routing is a pure function of the digest prefix *)
+  Alcotest.(check int) "digest 00.. -> 0" 0
+    (Serve.Cache.shard_of_digest cache ("00" ^ String.make 30 'a'));
+  Alcotest.(check int) "digest ff.. -> 255 mod 8" (255 mod 8)
+    (Serve.Cache.shard_of_digest cache ("ff" ^ String.make 30 'a'));
+  (* entries land on the shard their digest names *)
+  let reqs = List.init 12 (fun i -> request (instance ~seed:(100 + i))) in
+  List.iter (fun r -> ignore (Serve.Cache.solve cache r)) reqs;
+  Alcotest.(check int) "all stored" 12 (Serve.Cache.length cache);
+  let lengths = Serve.Cache.shard_lengths cache in
+  List.iter
+    (fun r ->
+      let s = Serve.Cache.shard_of_digest cache (Serve.Cache.digest r) in
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d non-empty" s)
+        true (lengths.(s) > 0))
+    reqs;
+  (* capacity-1 caches collapse to one shard regardless of the default *)
+  Alcotest.(check int) "capacity 1 -> 1 shard" 1
+    (Serve.Cache.shard_count (Serve.Cache.create ~entries:1 ()))
+
+(* Satellite: sharded == single-shard on any eviction-free request
+   sequence — same hit/miss counts and byte-identical response lines. *)
+let qcheck_sharded_matches_single_shard =
+  QCheck.Test.make ~count:15 ~name:"sharded cache == single-shard cache"
+    QCheck.(pair (int_bound 1000) (list_of_size Gen.(1 -- 20) (int_bound 5)))
+    (fun (seed, picks) ->
+      (* a small pool of distinct requests, replayed in a random order
+         with repetitions: plenty of hits and misses, no evictions
+         (capacity far above the distinct-request count) *)
+      let base =
+        Array.init 6 (fun i -> request (instance ~seed:(seed + (13 * i))))
+      in
+      let sequence = List.map (fun i -> base.(i)) picks in
+      let play cache =
+        let h0 = counter "serve.cache.hit" and m0 = counter "serve.cache.miss" in
+        let lines =
+          List.map
+            (fun req ->
+              Serve.Jsonl.response_to_string ~id:(Obs.Json.Int 0)
+                (Serve.Cache.solve cache req))
+            sequence
+        in
+        (lines, counter "serve.cache.hit" - h0, counter "serve.cache.miss" - m0)
+      in
+      let sharded = play (Serve.Cache.create ~entries:64 ~shards:8 ()) in
+      let single = play (Serve.Cache.create ~entries:64 ~shards:1 ()) in
+      sharded = single)
+
+(* Satellite: concurrent hammer — 4 domains solving overlapping digests
+   through one sharded cache must lose no stores, and the aggregate
+   counters must account for every lookup. *)
+let test_shard_concurrent_hammer () =
+  let cache = Serve.Cache.create ~entries:256 ~shards:8 () in
+  let reqs = Array.init 8 (fun i -> request (instance ~seed:(300 + i))) in
+  Array.iter
+    (fun (r : Core.Synthesis.request) ->
+      Dfg.Graph.preheat r.Core.Synthesis.graph;
+      Fulib.Table.preheat r.Core.Synthesis.table)
+    reqs;
+  let expected = Array.map Core.Synthesis.solve reqs in
+  let rounds = 6 in
+  let h0 = counter "serve.cache.hit" and m0 = counter "serve.cache.miss" in
+  Par.Pool.with_pool ~domains:4 (fun pool ->
+      (* every task sweeps the whole request set, so every digest is
+         hammered from every domain; results must match the fresh solves *)
+      let results =
+        Par.Pool.map_array pool
+          (fun offset ->
+            Array.init (Array.length reqs) (fun i ->
+                let r = reqs.((i + offset) mod Array.length reqs) in
+                Serve.Cache.solve cache r))
+          (Array.init (4 * rounds) (fun i -> i))
+      in
+      Array.iteri
+        (fun t task_results ->
+          Array.iteri
+            (fun i resp ->
+              let want = expected.((i + t) mod Array.length reqs) in
+              if resp <> want then
+                Alcotest.failf "task %d lookup %d returned a wrong response" t i)
+            task_results)
+        results);
+  (* no lost stores: every distinct request is resident afterwards *)
+  Alcotest.(check int) "all entries resident" (Array.length reqs)
+    (Serve.Cache.length cache);
+  Array.iter
+    (fun r ->
+      Alcotest.(check bool) "entry findable" true
+        (Option.is_some (Serve.Cache.find cache r)))
+    reqs;
+  (* aggregate counters consistent: every lookup was either a hit or a
+     miss (the re-find sweep above adds one lookup per request), and the
+     per-shard cells sum to at least the aggregate deltas *)
+  let hits = counter "serve.cache.hit" - h0
+  and misses = counter "serve.cache.miss" - m0 in
+  Alcotest.(check int) "hits + misses == lookups"
+    ((4 * rounds * Array.length reqs) + Array.length reqs)
+    (hits + misses);
+  let shard_sum kind =
+    let sum = ref 0 in
+    for s = 0 to Serve.Cache.shard_count cache - 1 do
+      sum :=
+        !sum + counter (Printf.sprintf "serve.cache.shard%d.%s" s kind)
+    done;
+    !sum
+  in
+  Alcotest.(check bool) "per-shard hits cover the aggregate delta" true
+    (shard_sum "hit" >= hits);
+  Alcotest.(check bool) "per-shard misses cover the aggregate delta" true
+    (shard_sum "miss" >= misses)
 
 (* --- server ------------------------------------------------------------ *)
 
@@ -387,7 +518,16 @@ let () =
             test_cache_skips_timeout;
           Alcotest.test_case "HETSCHED_CACHE_ENTRIES" `Quick
             test_entries_from_env;
+          Alcotest.test_case "HETSCHED_CACHE_SHARDS" `Quick
+            test_shards_from_env;
         ] );
+      ( "shards",
+        [
+          Alcotest.test_case "digest-prefix routing" `Quick test_shard_routing;
+          Alcotest.test_case "concurrent hammer, 4 domains" `Quick
+            test_shard_concurrent_hammer;
+        ]
+        @ qsuite [ qcheck_sharded_matches_single_shard ] );
       ( "server",
         [
           Alcotest.test_case "queue bounds and order" `Quick
