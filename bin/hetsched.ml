@@ -266,6 +266,36 @@ let queue_arg =
   in
   Arg.(value & opt int Serve.Server.default_queue_capacity & info [ "queue" ] ~doc)
 
+let with_in path f =
+  if path = "-" then f stdin
+  else
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
+
+let with_out path f =
+  if path = "-" then f stdout
+  else
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let rt_capacity_arg =
+  let doc =
+    "Real-time platform capacity for admit/release lines: an instance \
+     count per FU type ($(b,4)) or per-type counts ($(b,2-1-3))."
+  in
+  let env = Cmd.Env.info "HETSCHED_RT_CAPACITY" in
+  Arg.(value & opt (some string) None & info [ "rt-capacity" ] ~env ~docv:"SPEC" ~doc)
+
+let rt_capacity spec =
+  match spec with
+  | None -> None
+  | Some s -> (
+      match Rt.Admission.spec_of_string s with
+      | Ok spec -> Some spec
+      | Error msg ->
+          Printf.eprintf "hetsched: --rt-capacity: %s\n" msg;
+          exit 2)
+
 let make_server ~domains ~cache_entries ~cache_shards ~no_cache ~queue =
   (match domains with
   | Some n -> Par.Pool.set_global_domains n
@@ -300,10 +330,21 @@ let serve_summary ~served () =
       (fmt_ns (Obs.Histogram.quantile h 0.50))
       (fmt_ns (Obs.Histogram.quantile h 0.90))
       (fmt_ns (Obs.Histogram.quantile h 0.99));
+  let admitted = v "serve.rt.admitted"
+  and rejected = v "serve.rt.rejected"
+  and released = v "serve.rt.released" in
+  if admitted + rejected + released > 0 then
+    Printf.eprintf
+      "admission: %d admitted, %d rejected, %d released, utilization %d%%\n"
+      admitted rejected released
+      (Option.value
+         (Obs.Gauge.value_of "serve.rt.utilization_pct")
+         ~default:0);
   let summarised =
     [
       "serve.cache.hit"; "serve.cache.miss"; "serve.cache.evict";
       "serve.jsonl.malformed"; "serve.daemon.malformed";
+      "serve.rt.admitted"; "serve.rt.rejected"; "serve.rt.released";
     ]
   in
   (* zero-valued counters are omitted from the tail: with a sharded cache
@@ -319,26 +360,16 @@ let serve_summary ~served () =
     (Obs.Counter.snapshot ())
 
 let serve_cmd =
-  let run input output domains cache_entries cache_shards no_cache queue =
+  let run input output domains cache_entries cache_shards no_cache queue
+      capacity =
+    let capacity = rt_capacity capacity in
     let server =
       make_server ~domains ~cache_entries ~cache_shards ~no_cache ~queue
     in
-    let with_input f =
-      if input = "-" then f stdin
-      else
-        let ic = open_in input in
-        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
-    in
-    let with_output f =
-      if output = "-" then f stdout
-      else
-        let oc = open_out output in
-        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
-    in
     let served =
-      with_input @@ fun input ->
-      with_output @@ fun output ->
-      Serve.Jsonl.serve ~lookup:serve_lookup server ~input ~output
+      with_in input @@ fun input ->
+      with_out output @@ fun output ->
+      Serve.Jsonl.serve ~lookup:serve_lookup ?capacity server ~input ~output
     in
     serve_summary ~served ()
   in
@@ -347,7 +378,8 @@ let serve_cmd =
        ~doc:"Batch synthesis service: JSONL requests in, JSONL responses out \
              (content-addressed cache, sharded over a domain pool)")
     Term.(const run $ serve_in_arg $ serve_out_arg $ serve_domains_arg
-          $ cache_entries_arg $ cache_shards_arg $ no_cache_arg $ queue_arg)
+          $ cache_entries_arg $ cache_shards_arg $ no_cache_arg $ queue_arg
+          $ rt_capacity_arg)
 
 let socket_arg =
   let doc =
@@ -360,15 +392,32 @@ let daemon_cmd =
     let doc = "Exit after $(docv) connections (default: accept forever)." in
     Arg.(value & opt (some int) None & info [ "connections" ] ~docv:"N" ~doc)
   in
-  let run socket connections domains cache_entries cache_shards no_cache queue =
+  let idle_timeout_arg =
+    let doc =
+      "Close a connection after $(docv) seconds of silence with nothing in \
+       flight (default: never)."
+    in
+    let env = Cmd.Env.info "HETSCHED_IDLE_TIMEOUT" in
+    Arg.(value & opt (some float) None
+         & info [ "idle-timeout" ] ~env ~docv:"SECONDS" ~doc)
+  in
+  let run socket connections domains cache_entries cache_shards no_cache queue
+      capacity idle_timeout =
+    let capacity = rt_capacity capacity in
+    (match idle_timeout with
+    | Some s when not (Float.is_finite s && s > 0.0) ->
+        Printf.eprintf "hetsched: --idle-timeout must be > 0 (got %g)\n" s;
+        exit 2
+    | _ -> ());
     let server =
       make_server ~domains ~cache_entries ~cache_shards ~no_cache ~queue
     in
-    let daemon = Serve.Daemon.create ~lookup:serve_lookup server in
+    let daemon = Serve.Daemon.create ~lookup:serve_lookup ?capacity server in
     let served =
       if socket = "-" then
-        Serve.Daemon.serve_fd daemon ~input:Unix.stdin ~output:Unix.stdout
-      else Serve.Daemon.listen ?connections daemon ~path:socket ()
+        Serve.Daemon.serve_fd ?idle_timeout daemon ~input:Unix.stdin
+          ~output:Unix.stdout
+      else Serve.Daemon.listen ?connections ?idle_timeout daemon ~path:socket ()
     in
     serve_summary ~served ()
   in
@@ -378,7 +427,8 @@ let daemon_cmd =
              Unix-domain socket (or stdio), busy-shedding backpressure, \
              p50/p99 latency summary")
     Term.(const run $ socket_arg $ connections_arg $ serve_domains_arg
-          $ cache_entries_arg $ cache_shards_arg $ no_cache_arg $ queue_arg)
+          $ cache_entries_arg $ cache_shards_arg $ no_cache_arg $ queue_arg
+          $ rt_capacity_arg $ idle_timeout_arg)
 
 let client_cmd =
   let run socket input output =
@@ -386,21 +436,10 @@ let client_cmd =
       Printf.eprintf "hetsched client: --socket must name a daemon socket\n";
       exit 2
     end;
-    let with_input f =
-      if input = "-" then f stdin
-      else
-        let ic = open_in input in
-        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> f ic)
-    in
-    let with_output f =
-      if output = "-" then f stdout
-      else
-        let oc = open_out output in
-        Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
-    in
     let received =
-      with_input @@ fun input ->
-      with_output @@ fun output -> Serve.Daemon.call ~path:socket ~input ~output
+      with_in input @@ fun input ->
+      with_out output @@ fun output ->
+      Serve.Daemon.call ~path:socket ~input ~output
     in
     Printf.eprintf "received %d response line(s)\n" received
   in
@@ -409,6 +448,77 @@ let client_cmd =
        ~doc:"Stream JSONL requests to a running hetsched daemon and copy \
              the response lines back")
     Term.(const run $ socket_arg $ serve_in_arg $ serve_out_arg)
+
+let admit_cmd =
+  let no_verify_arg =
+    let doc =
+      "Skip the hyperperiod certificate (simulate every admitted task over \
+       one hyperperiod and replay the light jobs on the shared pool)."
+    in
+    Arg.(value & flag & info [ "no-verify" ] ~doc)
+  in
+  let run input output capacity no_verify =
+    let capacity = rt_capacity capacity in
+    let adm = Rt.Admission.create ?capacity () in
+    let process input output =
+      let line_no = ref 0 in
+      let emit s = output_string output s; output_char output '\n' in
+      (try
+         while true do
+           let s = input_line input in
+           incr line_no;
+           if String.trim s <> "" then
+             match
+               Serve.Jsonl.line_of_string ~lookup:serve_lookup ~line:!line_no s
+             with
+             | Error msg ->
+                 emit (Serve.Jsonl.error_to_string ~id:(Obs.Json.Int !line_no) msg)
+             | Ok (Serve.Jsonl.Solve item) ->
+                 emit
+                   (Serve.Jsonl.response_to_string ~id:item.Serve.Jsonl.id
+                      (Core.Synthesis.solve item.Serve.Jsonl.request))
+             | Ok (Serve.Jsonl.Admit a) ->
+                 let verdict =
+                   match Core.Synthesis.analyse_periodic a.periodic with
+                   | Ok an -> Rt.Admission.try_admit adm ~id:a.task an
+                   | Error reason -> Rt.Verdict.Rejected reason
+                 in
+                 emit (Serve.Jsonl.verdict_to_string ~id:a.id ~task:a.task verdict)
+             | Ok (Serve.Jsonl.Release r) ->
+                 let known = Rt.Admission.release adm ~id:r.task in
+                 emit (Serve.Jsonl.released_to_string ~id:r.id ~task:r.task ~known)
+         done
+       with End_of_file -> ());
+      flush output
+    in
+    (with_in input @@ fun input -> with_out output @@ fun output ->
+     process input output);
+    let entries = Rt.Admission.admitted adm in
+    Printf.eprintf "admitted %d task(s), utilization %.3f\n"
+      (List.length entries)
+      (Rt.Admission.utilization adm);
+    List.iter
+      (fun (e : Rt.Admission.admitted) ->
+        Format.eprintf "  %s: %a, response %d@." e.Rt.Admission.id
+          Rt.Task.pp_analysed e.Rt.Admission.analysed
+          e.Rt.Admission.response_time)
+      entries;
+    if not no_verify then begin
+      let cert = Rt.Sim.run adm in
+      Format.eprintf "certificate: %a@." Rt.Sim.pp cert;
+      if not (Rt.Sim.ok cert) then begin
+        Printf.eprintf "certificate FAILED: an admitted task set missed\n";
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "admit"
+       ~doc:"Periodic admission control: JSONL admit/release lines in, \
+             admitted/rejected verdict lines out, then prove the admitted \
+             set deadline-miss-free over one hyperperiod")
+    Term.(const run $ serve_in_arg $ serve_out_arg $ rt_capacity_arg
+          $ no_verify_arg)
 
 let csv_cmd =
   let which =
@@ -430,4 +540,4 @@ let () =
     Cmd.info "hetsched"
       ~doc:"Heterogeneous FU assignment and scheduling for real-time DSP"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; dot_cmd; synth_cmd; frontier_cmd; netlist_cmd; csv_cmd; compile_cmd; gantt_cmd; analyze_cmd; serve_cmd; daemon_cmd; client_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; dot_cmd; synth_cmd; frontier_cmd; netlist_cmd; csv_cmd; compile_cmd; gantt_cmd; analyze_cmd; serve_cmd; daemon_cmd; client_cmd; admit_cmd ]))

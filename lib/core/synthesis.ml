@@ -269,6 +269,48 @@ let solve req =
       stats = base_stats req;
     }
 
+(* --- periodic requests --------------------------------------------------- *)
+
+type periodic = { request : request; period : int }
+
+let periodic ?scheduler ?validate ?trace ?budget_ms ~algorithm ~period
+    ~deadline graph table =
+  if period < 1 then
+    invalid_arg
+      (Printf.sprintf "Core.Synthesis.periodic: period %d < 1" period);
+  {
+    request =
+      request ?scheduler ?validate ?trace ?budget_ms ~algorithm ~deadline
+        graph table;
+    period;
+  }
+
+(* Synthesis answers are period-independent, so a cached response can be
+   classified for any period — solving and classifying are deliberately
+   two separate steps. *)
+let periodic_of_response ?heavy_threshold p resp =
+  match (resp.status, resp.result) with
+  | Ok, Some r -> (
+      match
+        Rt.Task.make ~period:p.period ~deadline:p.request.deadline
+          p.request.graph p.request.table
+      with
+      | task ->
+          Rt.Task.of_schedule ?heavy_threshold task ~schedule:r.schedule
+            ~config:r.config
+      | exception Invalid_argument msg ->
+          Result.Error (Rt.Verdict.Synthesis_error msg))
+  | Infeasible, _ | Infeasible_memory, _ ->
+      Result.Error Rt.Verdict.Infeasible_deadline
+  | Timeout, _ ->
+      Result.Error (Rt.Verdict.Synthesis_error "synthesis budget exhausted")
+  | Error msg, _ -> Result.Error (Rt.Verdict.Synthesis_error msg)
+  | Ok, None ->
+      Result.Error (Rt.Verdict.Synthesis_error "Ok response without a result")
+
+let analyse_periodic ?heavy_threshold p =
+  periodic_of_response ?heavy_threshold p (solve p.request)
+
 (* Phase 1 only — the experiment grid's cell runner. Fail-fast audit (the
    grid's historical contract): a corrupt assignment raises rather than
    being folded into a response. *)

@@ -134,6 +134,51 @@ val validate : Dfg.Graph.t -> Fulib.Table.t -> deadline:int -> result -> unit
     path) — the paper's first timing constraint in every experiment. *)
 val min_deadline : Dfg.Graph.t -> Fulib.Table.t -> int
 
+(** {2 Periodic requests}
+
+    A periodic request is an ordinary synthesis {!request} plus a release
+    period: the job repeats every [period] control steps and each release
+    must finish within the request's [deadline]. Synthesis itself is
+    period-independent — the same solved schedule serves every period —
+    which is what lets the serve layer reuse its response cache for
+    admission: solve (cached) first, classify per-period after. *)
+
+type periodic = { request : request; period : int }
+
+(** [periodic ?scheduler ?validate ?trace ?budget_ms ~algorithm ~period
+    ~deadline graph table]. Raises [Invalid_argument] when [period < 1]
+    (the deadline is validated by {!Rt.Task.make} at classification). *)
+val periodic :
+  ?scheduler:scheduler ->
+  ?validate:bool ->
+  ?trace:bool ->
+  ?budget_ms:int ->
+  algorithm:algorithm ->
+  period:int ->
+  deadline:int ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  periodic
+
+(** Classify an already-solved {!response} (fresh or cache hit) for the
+    periodic request it answers: [Ok]-with-result responses go through
+    {!Rt.Task.of_schedule}; [Infeasible]/[Infeasible_memory] become
+    [Rt.Verdict.Infeasible_deadline]; [Timeout] and [Error] become
+    [Rt.Verdict.Synthesis_error]. Never raises. *)
+val periodic_of_response :
+  ?heavy_threshold:float ->
+  periodic ->
+  response ->
+  (Rt.Task.analysed, Rt.Verdict.reason) Stdlib.result
+
+(** [analyse_periodic p] — {!solve} the inner request, then
+    {!periodic_of_response}. The standalone (non-serve) admission path:
+    [bin/hetsched admit] and the tests use it directly. *)
+val analyse_periodic :
+  ?heavy_threshold:float ->
+  periodic ->
+  (Rt.Task.analysed, Rt.Verdict.reason) Stdlib.result
+
 val pp_result :
   graph:Dfg.Graph.t ->
   table:Fulib.Table.t ->

@@ -72,15 +72,24 @@ let mean h =
   let n = count h in
   if n = 0 then 0.0 else sum h /. float_of_int n
 
+(* [q] is validated before the emptiness check so a bad quantile raises
+   even on an empty histogram — silence must never hide a caller bug. *)
 let quantile_of_buckets cells q =
-  if q < 0.0 || q > 1.0 then
+  (* negated >= form so nan fails the test too *)
+  if not (q >= 0.0 && q <= 1.0) then
     invalid_arg "Obs.Histogram.quantile_of_buckets: q outside [0, 1]";
   let total = Array.fold_left ( + ) 0 cells in
+  (* Empty sentinel: 0.0. No non-empty histogram can report it — the
+     smallest representative value is bucket 0's midpoint, 0.5 ns — so
+     [quantile h q = 0.0] is a definitive "no observations" test. *)
   if total = 0 then 0.0
   else begin
-    (* the observation with 1-based rank ceil(q * total) *)
+    (* the observation with 1-based rank ceil(q * total); q = 0 clamps
+       to rank 1 (the minimum), q = 1 is rank [total] (the maximum) *)
     let rank = max 1 (int_of_float (ceil (q *. float_of_int total))) in
     let rec walk i seen =
+      (* unreachable while rank <= total; kept so a torn concurrent
+         snapshot degrades to the top bucket instead of an exception *)
       if i >= Array.length cells then bucket_mid (Array.length cells - 1)
       else
         let seen = seen + cells.(i) in

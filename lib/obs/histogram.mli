@@ -47,12 +47,20 @@ val mean : t -> float
 val buckets : t -> int array
 
 (** [quantile h q] with [q] in [[0, 1]] — e.g. [quantile h 0.99] is the
-    p99 estimate in ns. [0.0] when the histogram is empty. Raises
-    [Invalid_argument] when [q] is outside [[0, 1]]. *)
+    p99 estimate in ns ([q = 0.0] the minimum estimate, [q = 1.0] the
+    maximum). An {e empty} histogram returns the sentinel [0.0] — a
+    value no non-empty histogram can report, since the smallest
+    representative value is bucket 0's geometric midpoint (0.5 ns) — so
+    [quantile h q = 0.0] is a definitive "no observations yet" test.
+    Raises [Invalid_argument] when [q] is outside [[0, 1]] (NaN
+    included), {e also} on an empty histogram: the argument is validated
+    before the emptiness check. *)
 val quantile : t -> float -> float
 
 (** {!quantile} over a raw bucket snapshot — diff two {!buckets} arrays
-    to get the quantiles of just the observations made in between. *)
+    to get the quantiles of just the observations made in between. Same
+    empty sentinel and validation order as {!quantile} (an all-zero
+    array is an empty histogram). *)
 val quantile_of_buckets : int array -> float -> float
 
 (** [merge_into ~src ~dst] adds [src]'s counts and sum into [dst]

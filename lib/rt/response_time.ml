@@ -1,0 +1,72 @@
+type light = { id : string; cost : int; period : int; deadline : int }
+
+let utilization_bound = 1.0
+
+let total_utilization lights =
+  List.fold_left
+    (fun acc l -> acc +. (float_of_int l.cost /. float_of_int l.period))
+    0.0 lights
+
+type outcome =
+  | Schedulable of (string * int) list
+  | Utilization_overrun of float
+  | Response_overrun of { id : string; response : int; deadline : int }
+
+let check_light l =
+  if l.cost < 0 then
+    invalid_arg (Printf.sprintf "Rt.Response_time: cost %d < 0" l.cost);
+  if l.period < 1 then
+    invalid_arg (Printf.sprintf "Rt.Response_time: period %d < 1" l.period);
+  if l.deadline < 1 then
+    invalid_arg (Printf.sprintf "Rt.Response_time: deadline %d < 1" l.deadline);
+  if l.deadline > l.period then
+    invalid_arg
+      (Printf.sprintf "Rt.Response_time: deadline %d > period %d (not a light task)"
+         l.deadline l.period)
+
+(* Deadline-monotonic: smaller relative deadline = higher priority, ties
+   broken by id so the order (and thus the verdict) is deterministic. *)
+let dm_compare a b = compare (a.deadline, a.id) (b.deadline, b.id)
+
+let analyse lights =
+  List.iter check_light lights;
+  let u = total_utilization lights in
+  if u > utilization_bound then Utilization_overrun u
+  else begin
+    let by_prio = Array.of_list (List.stable_sort dm_compare lights) in
+    let n = Array.length by_prio in
+    let responses = Hashtbl.create (max 1 n) in
+    let rec solve i =
+      if i >= n then
+        Schedulable
+          (List.map (fun l -> (l.id, Hashtbl.find responses l.id)) lights)
+      else begin
+        let l = by_prio.(i) in
+        let blocking = ref 0 in
+        for j = i + 1 to n - 1 do
+          blocking := max !blocking by_prio.(j).cost
+        done;
+        let interference r =
+          let acc = ref 0 in
+          for j = 0 to i - 1 do
+            let hp = by_prio.(j) in
+            acc := !acc + (((r + hp.period - 1) / hp.period) * hp.cost)
+          done;
+          !acc
+        in
+        (* monotone fixpoint iteration, abandoned past the deadline *)
+        let rec fix r =
+          let r' = l.cost + !blocking + interference r in
+          if r' > l.deadline then
+            Response_overrun { id = l.id; response = r'; deadline = l.deadline }
+          else if r' = r then begin
+            Hashtbl.replace responses l.id r;
+            solve (i + 1)
+          end
+          else fix r'
+        in
+        fix (l.cost + !blocking)
+      end
+    in
+    solve 0
+  end

@@ -1,0 +1,183 @@
+type job = {
+  id : string;
+  index : int;
+  release : int;
+  start : int;
+  finish : int;
+  deadline_at : int;
+}
+
+type t = {
+  hyperperiod : int;
+  heavy_ok : bool;
+  capacity_ok : bool;
+  fits_ok : bool;
+  jobs : job list;
+  misses : job list;
+}
+
+let ok t = t.heavy_ok && t.capacity_ok && t.fits_ok && t.misses = []
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let lcm a b = a / gcd a b * b
+
+let hyperperiod entries =
+  List.fold_left
+    (fun acc (e : Admission.admitted) ->
+      lcm acc e.Admission.analysed.Task.task.Task.period)
+    1 entries
+
+let job_count entries h =
+  List.fold_left
+    (fun acc (e : Admission.admitted) ->
+      acc + (h / e.Admission.analysed.Task.task.Task.period))
+    0 entries
+
+(* Heavy tasks run on dedicated reservations: iteration k of the cyclic
+   schedule starts at k*period and finishes makespan steps later, so the
+   deadline is met iff makespan <= deadline; simulate re-checks every
+   dependence of the overlapped repetition concretely. *)
+let heavy_ok entries h =
+  List.for_all
+    (fun (e : Admission.admitted) ->
+      let an = e.Admission.analysed in
+      if not an.Task.heavy then true
+      else
+        let task = an.Task.task in
+        let iterations = max 1 (h / task.Task.period) in
+        let sim =
+          Sched.Cyclic_schedule.simulate task.Task.graph task.Task.table
+            an.Task.schedule ~period:task.Task.period ~iterations
+        in
+        sim.Sched.Cyclic_schedule.ok && an.Task.makespan <= task.Task.deadline)
+    entries
+
+let fits_ok entries =
+  List.for_all
+    (fun (e : Admission.admitted) ->
+      let an = e.Admission.analysed in
+      Sched.Schedule.fits an.Task.task.Task.table an.Task.schedule
+        ~config:an.Task.config)
+    entries
+
+let capacity_ok adm entries =
+  match entries with
+  | [] -> true
+  | (e : Admission.admitted) :: _ ->
+      let k = Fulib.Table.num_types e.Admission.analysed.Task.task.Task.table in
+      let cap =
+        match Admission.capacity adm with
+        | Admission.Uniform n -> Array.make k n
+        | Admission.Per_type a -> a
+      in
+      Array.length cap = k
+      &&
+      let reserved = Array.make k 0 in
+      List.iter
+        (fun (e : Admission.admitted) ->
+          let an = e.Admission.analysed in
+          if an.Task.heavy then
+            Array.iteri
+              (fun ftype c -> reserved.(ftype) <- reserved.(ftype) + c)
+              an.Task.config)
+        entries;
+      let heavy_fit =
+        Array.for_all2 (fun r c -> r <= c) reserved cap
+      in
+      heavy_fit
+      && List.for_all
+           (fun (e : Admission.admitted) ->
+             let an = e.Admission.analysed in
+             an.Task.heavy
+             || Array.for_all2
+                  (fun need free -> need <= free)
+                  an.Task.config
+                  (Array.init k (fun t -> cap.(t) - reserved.(t))))
+           entries
+
+(* Serialized non-preemptive DM server over the light jobs: among
+   released jobs the smallest relative deadline runs first (ties by id,
+   then job index), occupying the server for the whole makespan. *)
+let replay_lights entries h =
+  let pending =
+    List.concat_map
+      (fun (e : Admission.admitted) ->
+        let an = e.Admission.analysed in
+        if an.Task.heavy then []
+        else
+          let task = an.Task.task in
+          List.init (h / task.Task.period) (fun k ->
+              ( (task.Task.deadline, e.Admission.id, k),
+                {
+                  id = e.Admission.id;
+                  index = k;
+                  release = k * task.Task.period;
+                  start = 0;
+                  finish = 0;
+                  deadline_at = (k * task.Task.period) + task.Task.deadline;
+                },
+                an.Task.makespan )))
+      entries
+  in
+  let pending =
+    List.sort
+      (fun (_, a, _) (_, b, _) -> compare (a.release, a.id, a.index) (b.release, b.id, b.index))
+      pending
+  in
+  let rec step time pending ready done_rev =
+    (* move releases at or before [time] into the ready set *)
+    let rec absorb pending ready =
+      match pending with
+      | ((_, j, _) as x) :: rest when j.release <= time ->
+          absorb rest (x :: ready)
+      | _ -> (pending, ready)
+    in
+    let pending, ready = absorb pending ready in
+    match ready with
+    | [] -> (
+        match pending with
+        | [] -> List.rev done_rev
+        | (_, j, _) :: _ -> step j.release pending ready done_rev)
+    | _ ->
+        let best =
+          List.fold_left
+            (fun acc x ->
+              let (pa, _, _) = acc and (pb, _, _) = x in
+              if pb < pa then x else acc)
+            (List.hd ready) (List.tl ready)
+        in
+        let _, j, cost = best in
+        let ready = List.filter (fun x -> x != best) ready in
+        let start = time in
+        let finish = start + cost in
+        step finish pending ready ({ j with start; finish } :: done_rev)
+  in
+  step 0 pending [] []
+
+let run ?(max_jobs = 1_000_000) adm =
+  let entries = Admission.admitted adm in
+  let h = hyperperiod entries in
+  if h < 1 || job_count entries h > max_jobs then
+    invalid_arg
+      (Printf.sprintf
+         "Rt.Sim.run: hyperperiod %d needs more than %d jobs; use harmonic \
+          periods or raise ~max_jobs"
+         h max_jobs);
+  let jobs = replay_lights entries h in
+  {
+    hyperperiod = h;
+    heavy_ok = heavy_ok entries h;
+    capacity_ok = capacity_ok adm entries;
+    fits_ok = fits_ok entries;
+    jobs;
+    misses = List.filter (fun j -> j.finish > j.deadline_at) jobs;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "hyperperiod %d: heavy %s, capacity %s, fits %s, %d light jobs, %d misses"
+    t.hyperperiod
+    (if t.heavy_ok then "ok" else "FAIL")
+    (if t.capacity_ok then "ok" else "FAIL")
+    (if t.fits_ok then "ok" else "FAIL")
+    (List.length t.jobs) (List.length t.misses)

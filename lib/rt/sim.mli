@@ -1,0 +1,51 @@
+(** Hyperperiod certificate for an admitted task set — the independent
+    oracle the admission test is differentially checked against.
+
+    Over one hyperperiod [H = lcm of periods], with every task released
+    synchronously at step 0 (the critical instant {!Response_time}
+    bounds):
+
+    - each {e heavy} task is replayed by
+      {!Sched.Cyclic_schedule.simulate} for [H / period] overlapped
+      iterations on its dedicated reservation, and its schedule is
+      re-proved to fit that reservation ({!Sched.Schedule.fits});
+    - the {e light} jobs are replayed on the serialized residual server
+      (non-preemptive deadline-monotonic, exactly the model
+      {!Response_time} analyses), recording every job's start and
+      finish;
+    - the capacity ledger is re-checked arithmetically: heavy
+      reservations plus any single light demand never exceed the
+      platform, per FU type.
+
+    One hyperperiod suffices: light tasks have [deadline <= period], so
+    a miss-free replay ends with the server drained at [H] and the state
+    at [H] equals the state at 0; heavy tasks repeat by construction of
+    their legal cyclic period. *)
+
+type job = {
+  id : string;
+  index : int;  (** job number of its task, from 0 *)
+  release : int;
+  start : int;
+  finish : int;
+  deadline_at : int;  (** absolute deadline, [release + deadline] *)
+}
+
+type t = {
+  hyperperiod : int;
+  heavy_ok : bool;  (** every heavy replay ok and within its deadline *)
+  capacity_ok : bool;  (** reservations + each light demand fit the platform *)
+  fits_ok : bool;  (** every schedule fits its claimed configuration *)
+  jobs : job list;  (** every light job replayed, in start order *)
+  misses : job list;  (** light jobs with [finish > deadline_at] *)
+}
+
+val ok : t -> bool
+
+(** [run ?max_jobs adm] replays the controller's admitted set over one
+    hyperperiod. Raises [Invalid_argument] when the replay would exceed
+    [max_jobs] total jobs (default [1_000_000]) — a guard against
+    non-harmonic period sets with astronomical hyperperiods. *)
+val run : ?max_jobs:int -> Admission.t -> t
+
+val pp : Format.formatter -> t -> unit

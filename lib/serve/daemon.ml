@@ -3,12 +3,21 @@ let busy = Obs.Counter.make "serve.daemon.busy"
 let served = Obs.Counter.make "serve.daemon.served"
 let connections = Obs.Counter.make "serve.daemon.connections"
 let malformed = Obs.Counter.make "serve.daemon.malformed"
+let idle_closed = Obs.Counter.make "serve.daemon.idle_closed"
+let rt_admitted = Obs.Counter.make "serve.rt.admitted"
+let rt_rejected = Obs.Counter.make "serve.rt.rejected"
+let rt_released = Obs.Counter.make "serve.rt.released"
+let rt_utilization = Obs.Gauge.make "serve.rt.utilization_pct"
 let latency = Obs.Histogram.make "serve.daemon.latency_ns"
 let latency_histogram () = latency
 
-type t = { server : Server.t; lookup : Jsonl.lookup option }
+type t = {
+  server : Server.t;
+  lookup : Jsonl.lookup option;
+  capacity : Rt.Admission.spec option;
+}
 
-let create ?lookup server = { server; lookup }
+let create ?lookup ?capacity server = { server; lookup; capacity }
 let server t = t.server
 
 let now_ns () = Unix.gettimeofday () *. 1e9
@@ -21,7 +30,7 @@ let now_ns () = Unix.gettimeofday () *. 1e9
    lines are assembled by hand from Unix.read with a zero-timeout select
    probing readability. *)
 
-type read_result = Line of string | Would_block | Eof
+type read_result = Line of string | Would_block | Eof | Idle
 
 type reader = {
   fd : Unix.file_descr;
@@ -46,11 +55,22 @@ let rec read_chunk r =
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
       r.at_eof <- true
 
-(* [take_line r ~block]: the next full line if one is buffered or can be
-   obtained without waiting; [Would_block] when [block] is false and the
-   peer has sent nothing further yet; [Eof] once the peer is done (a final
-   unterminated line is still delivered first). *)
-let rec take_line r ~block =
+(* A blocking wait bounded by [timeout] seconds (negative = forever); an
+   EINTR restarts the full wait, so a signal storm can overshoot — fine
+   for an idle-session reaper. *)
+let rec wait_readable fd ~timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | [ _ ], _, _ -> true
+  | _ -> false
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable fd ~timeout
+
+(* [take_line r ~block ~idle_timeout]: the next full line if one is
+   buffered or can be obtained without waiting; [Would_block] when
+   [block] is false and the peer has sent nothing further yet; [Idle]
+   when a blocking wait outlasts [idle_timeout] seconds of silence; [Eof]
+   once the peer is done (a final unterminated line is still delivered
+   first). *)
+let rec take_line r ~block ~idle_timeout =
   match String.index_opt r.acc '\n' with
   | Some i ->
       let line = String.sub r.acc 0 i in
@@ -64,9 +84,16 @@ let rec take_line r ~block =
           r.acc <- "";
           Line line
         end
-      else if block || readable_now r.fd then begin
+      else if block then
+        let timeout = Option.value idle_timeout ~default:(-1.0) in
+        if wait_readable r.fd ~timeout then begin
+          read_chunk r;
+          take_line r ~block ~idle_timeout
+        end
+        else Idle
+      else if readable_now r.fd then begin
         read_chunk r;
-        take_line r ~block
+        take_line r ~block ~idle_timeout
       end
       else Would_block
 
@@ -90,10 +117,16 @@ let emit fd line = write_all fd (line ^ "\n") 0 (String.length line + 1)
    moment input is not immediately available, and block for more input
    only when nothing is in flight. Within one burst this yields exactly
    [queue_capacity] solved responses and a busy line per overflow. *)
-let serve_fd t ~input ~output =
+let serve_fd ?idle_timeout t ~input ~output =
+  (match idle_timeout with
+  | Some s when not (Float.is_finite s && s > 0.0) ->
+      invalid_arg
+        (Printf.sprintf "Serve.Daemon.serve_fd: idle timeout %g must be > 0" s)
+  | _ -> ());
   Obs.Counter.incr connections;
   let r = reader input in
   let pending : (Obs.Json.t * float) Queue.t = Queue.create () in
+  let adm = Rt.Admission.create ?capacity:t.capacity () in
   let written = ref 0 in
   let send line =
     emit output line;
@@ -113,17 +146,47 @@ let serve_fd t ~input ~output =
         invalid_arg "Serve.Daemon.serve_fd: drain/pending mismatch"
     end
   in
+  (* Admission verdicts are synchronous and order-dependent: flush the
+     in-flight solve wave first (keeping the bounded queue whole for
+     plain solves), then solve the admit's own job cache-fronted on this
+     domain and apply the controller. *)
+  let admit ~id ~task (periodic : Core.Synthesis.periodic) =
+    flush_pending ();
+    let t0 = now_ns () in
+    let resp = Server.guarded_solve t.server periodic.Core.Synthesis.request in
+    let verdict =
+      match Core.Synthesis.periodic_of_response periodic resp with
+      | Stdlib.Ok an -> Rt.Admission.try_admit adm ~id:task an
+      | Stdlib.Error reason -> Rt.Verdict.Rejected reason
+    in
+    (match verdict with
+    | Rt.Verdict.Admitted _ -> Obs.Counter.incr rt_admitted
+    | Rt.Verdict.Rejected _ -> Obs.Counter.incr rt_rejected);
+    Obs.Gauge.set rt_utilization
+      (int_of_float (Rt.Admission.utilization adm *. 100.0));
+    Obs.Histogram.observe latency (now_ns () -. t0);
+    send (Jsonl.verdict_to_string ~id ~task verdict)
+  in
+  let release ~id ~task =
+    let known = Rt.Admission.release adm ~id:task in
+    if known then begin
+      Obs.Counter.incr rt_released;
+      Obs.Gauge.set rt_utilization
+        (int_of_float (Rt.Admission.utilization adm *. 100.0))
+    end;
+    send (Jsonl.released_to_string ~id ~task ~known)
+  in
   let line_no = ref 0 in
   let rec loop () =
-    match take_line r ~block:(Queue.is_empty pending) with
+    match take_line r ~block:(Queue.is_empty pending) ~idle_timeout with
     | Line s ->
         incr line_no;
         if String.trim s <> "" then begin
-          match Jsonl.request_of_string ?lookup:t.lookup ~line:!line_no s with
+          match Jsonl.line_of_string ?lookup:t.lookup ~line:!line_no s with
           | Error msg ->
               Obs.Counter.incr malformed;
               send (Jsonl.error_to_string ~id:(Obs.Json.Int !line_no) msg)
-          | Ok item ->
+          | Ok (Jsonl.Solve item) ->
               Obs.Counter.incr requests;
               if Server.try_submit t.server item.Jsonl.request then
                 Queue.add (item.Jsonl.id, now_ns ()) pending
@@ -131,11 +194,20 @@ let serve_fd t ~input ~output =
                 Obs.Counter.incr busy;
                 send (Jsonl.busy_to_string ~id:item.Jsonl.id)
               end
+          | Ok (Jsonl.Admit a) ->
+              Obs.Counter.incr requests;
+              admit ~id:a.id ~task:a.task a.periodic
+          | Ok (Jsonl.Release rel) ->
+              Obs.Counter.incr requests;
+              release ~id:rel.id ~task:rel.task
         end;
         loop ()
     | Would_block ->
         flush_pending ();
         loop ()
+    | Idle ->
+        (* only reachable while blocking, i.e. with nothing in flight *)
+        Obs.Counter.incr idle_closed
     | Eof -> flush_pending ()
   in
   loop ();
@@ -145,7 +217,7 @@ let serve_fd t ~input ~output =
 
 let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
 
-let listen ?connections:limit t ~path () =
+let listen ?connections:limit ?idle_timeout t ~path () =
   (match limit with
   | Some n when n < 1 ->
       invalid_arg (Printf.sprintf "Serve.Daemon.listen: connections %d < 1" n)
@@ -170,7 +242,8 @@ let listen ?connections:limit t ~path () =
       | fd, _ ->
           Fun.protect
             ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-            (fun () -> total := !total + serve_fd t ~input:fd ~output:fd);
+            (fun () ->
+              total := !total + serve_fd ?idle_timeout t ~input:fd ~output:fd);
           accept_loop (Option.map (fun n -> n - 1) remaining)
     end
   in

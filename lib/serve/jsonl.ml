@@ -13,7 +13,6 @@ let string_field name json =
   Option.bind (field name json) J.to_string_opt
 
 let int_field name json = Option.bind (field name json) J.to_int_opt
-let float_field name json = Option.bind (field name json) J.to_float_opt
 
 let bool_field name json =
   match field name json with Some (J.Bool b) -> Some b | _ -> None
@@ -162,13 +161,39 @@ let parse_instance ?lookup json =
 
 (* --- request parsing ------------------------------------------------- *)
 
+(* Validate before dispatch: a deadline of 0, a negative factor or an
+   overflowed [1e999] must die here as a per-line error naming the field,
+   not surface later as a solver artifact (or an admission verdict) for a
+   constraint that never made sense. *)
 let parse_deadline json g table =
-  match (int_field "deadline" json, float_field "deadline_factor" json) with
-  | Some deadline, _ -> Ok deadline
-  | None, Some factor ->
-      let tmin = Core.Synthesis.min_deadline g table in
-      Ok (max tmin (int_of_float (factor *. float_of_int tmin)))
+  match (field "deadline" json, field "deadline_factor" json) with
+  | Some d, _ -> (
+      match J.to_int_opt d with
+      | Some deadline when deadline >= 1 -> Ok deadline
+      | Some deadline ->
+          Error (Printf.sprintf "deadline must be >= 1 (got %d)" deadline)
+      | None -> Error "deadline must be an integer")
+  | None, Some f -> (
+      match J.to_float_opt f with
+      | Some factor when Float.is_finite factor && factor > 0.0 ->
+          let tmin = Core.Synthesis.min_deadline g table in
+          Ok (max tmin (int_of_float (factor *. float_of_int tmin)))
+      | Some factor ->
+          Error
+            (Printf.sprintf
+               "deadline_factor must be a finite number > 0 (got %g)" factor)
+      | None -> Error "deadline_factor must be a number")
   | None, None -> Error "request needs a deadline or a deadline_factor"
+
+let parse_period json =
+  match field "period" json with
+  | None -> Error "admit requests need a period"
+  | Some p -> (
+      match J.to_int_opt p with
+      | Some period when period >= 1 -> Ok period
+      | Some period ->
+          Error (Printf.sprintf "period must be >= 1 (got %d)" period)
+      | None -> Error "period must be an integer")
 
 let request_of_json ?lookup ~line json =
   let id =
@@ -215,6 +240,49 @@ let request_of_string ?lookup ~line s =
   match J.parse s with
   | Error msg -> Error ("malformed JSON: " ^ msg)
   | Ok json -> request_of_json ?lookup ~line json
+
+(* --- admission lines -------------------------------------------------- *)
+
+type line =
+  | Solve of item
+  | Admit of { id : J.t; task : string; periodic : Core.Synthesis.periodic }
+  | Release of { id : J.t; task : string }
+
+let line_id ~line json =
+  match field "id" json with
+  | Some (J.String _ as id) | Some (J.Int _ as id) -> id
+  | _ -> J.Int line
+
+(* The admission-controller key: the explicit "task" field, else the line
+   id itself, so short admit lines stay one field lighter. *)
+let task_of json id =
+  match string_field "task" json with
+  | Some t -> t
+  | None -> ( match id with J.String s -> s | J.Int n -> string_of_int n | _ -> "")
+
+let line_of_json ?lookup ~line json =
+  let id = line_id ~line json in
+  match string_field "cmd" json with
+  | None | Some "solve" ->
+      Result.map (fun item -> Solve item) (request_of_json ?lookup ~line json)
+  | Some "admit" ->
+      let ( let* ) = Result.bind in
+      let* item = request_of_json ?lookup ~line json in
+      let* period = parse_period json in
+      Ok
+        (Admit
+           {
+             id;
+             task = task_of json id;
+             periodic = { Core.Synthesis.request = item.request; period };
+           })
+  | Some "release" -> Ok (Release { id; task = task_of json id })
+  | Some cmd -> Error (Printf.sprintf "unknown cmd %S" cmd)
+
+let line_of_string ?lookup ~line s =
+  match J.parse s with
+  | Error msg -> Error ("malformed JSON: " ^ msg)
+  | Ok json -> line_of_json ?lookup ~line json
 
 (* --- response rendering ---------------------------------------------- *)
 
@@ -280,6 +348,69 @@ let error_to_string ~id msg =
 let busy_to_string ~id =
   J.to_string (J.Obj [ ("id", id); ("status", J.String "busy") ])
 
+(* Witness objects carry exactly the numbers [Rt.Verdict.witness_holds]
+   re-checks, so a wire client can verify the inequality itself. *)
+let witness_json = function
+  | Rt.Verdict.Infeasible_deadline -> J.Obj []
+  | Rt.Verdict.Synthesis_error msg -> J.Obj [ ("error", J.String msg) ]
+  | Rt.Verdict.Period_overrun { min_period; period } ->
+      J.Obj [ ("min_period", J.Int min_period); ("period", J.Int period) ]
+  | Rt.Verdict.Width_mismatch { expected; got } ->
+      J.Obj [ ("expected", J.Int expected); ("got", J.Int got) ]
+  | Rt.Verdict.Duplicate_id task -> J.Obj [ ("task", J.String task) ]
+  | Rt.Verdict.Insufficient_capacity { ftype; need; have } ->
+      J.Obj
+        [ ("ftype", J.Int ftype); ("need", J.Int need); ("have", J.Int have) ]
+  | Rt.Verdict.Utilization_overrun { utilization; bound } ->
+      J.Obj
+        [
+          ("utilization", J.Float utilization); ("bound", J.Float bound);
+        ]
+  | Rt.Verdict.Response_overrun { id; response; deadline } ->
+      J.Obj
+        [
+          ("task", J.String id);
+          ("response", J.Int response);
+          ("deadline", J.Int deadline);
+        ]
+
+let verdict_to_json ~id ~task = function
+  | Rt.Verdict.Admitted r ->
+      J.Obj
+        [
+          ("id", id);
+          ("status", J.String "admitted");
+          ("task", J.String task);
+          ("heavy", J.Bool r.Rt.Verdict.heavy);
+          ("config", config_json r.Rt.Verdict.config);
+          ("response_time", J.Int r.Rt.Verdict.response_time);
+          ("utilization", J.Float r.Rt.Verdict.utilization);
+        ]
+  | Rt.Verdict.Rejected reason ->
+      J.Obj
+        [
+          ("id", id);
+          ("status", J.String "rejected");
+          ("task", J.String task);
+          ("reason", J.String (Rt.Verdict.reason_code reason));
+          ("witness", witness_json reason);
+          ("detail", J.String (Rt.Verdict.reason_detail reason));
+        ]
+
+let verdict_to_string ~id ~task v = J.to_string (verdict_to_json ~id ~task v)
+
+let released_to_string ~id ~task ~known =
+  if known then
+    J.to_string
+      (J.Obj
+         [
+           ("id", id);
+           ("status", J.String "released");
+           ("task", J.String task);
+         ])
+  else
+    error_to_string ~id (Printf.sprintf "unknown task %S" task)
+
 (* --- channel driver -------------------------------------------------- *)
 
 let read_lines input =
@@ -290,38 +421,57 @@ let read_lines input =
   in
   loop 1 []
 
-let serve ?lookup server ~input ~output =
+let serve ?lookup ?capacity server ~input ~output =
   let lines =
     List.filter (fun (_, s) -> String.trim s <> "") (read_lines input)
   in
   let parsed =
     List.map
       (fun (line, s) ->
-        let r = request_of_string ?lookup ~line s in
+        let r = line_of_string ?lookup ~line s in
         (match r with
         | Error _ -> Obs.Counter.incr malformed
         | Ok _ -> ());
         (line, r))
       lines
   in
-  let items = List.filter_map (function _, Ok item -> Some item | _ -> None) parsed in
-  let responses =
-    Server.solve_batch server (List.map (fun item -> item.request) items)
+  (* Batch-solve every synthesis job — plain solves and the inner
+     requests of admit lines — sharded over the pool; admission state is
+     order-dependent, so verdicts are derived afterwards by walking the
+     lines in input order against one controller. *)
+  let requests =
+    List.filter_map
+      (function
+        | _, Ok (Solve item) -> Some item.request
+        | _, Ok (Admit a) -> Some a.periodic.Core.Synthesis.request
+        | _ -> None)
+      parsed
   in
-  (* Stitch solved responses back into the original line order: [parsed]
-     and [responses] agree on the order of well-formed lines. *)
+  let responses = Server.solve_batch server requests in
+  let adm = Rt.Admission.create ?capacity () in
+  let emit_line s = output_string output s; output_char output '\n' in
   let rec emit count parsed responses =
     match (parsed, responses) with
     | [], [] -> count
     | (line, Error msg) :: parsed, responses ->
-        output_string output (error_to_string ~id:(J.Int line) msg);
-        output_char output '\n';
+        emit_line (error_to_string ~id:(J.Int line) msg);
         emit (count + 1) parsed responses
-    | (_, Ok item) :: parsed, resp :: responses ->
-        output_string output (response_to_string ~id:item.id resp);
-        output_char output '\n';
+    | (_, Ok (Solve item)) :: parsed, resp :: responses ->
+        emit_line (response_to_string ~id:item.id resp);
         emit (count + 1) parsed responses
-    | (_, Ok _) :: _, [] | [], _ :: _ ->
+    | (_, Ok (Admit a)) :: parsed, resp :: responses ->
+        let verdict =
+          match Core.Synthesis.periodic_of_response a.periodic resp with
+          | Stdlib.Ok an -> Rt.Admission.try_admit adm ~id:a.task an
+          | Stdlib.Error reason -> Rt.Verdict.Rejected reason
+        in
+        emit_line (verdict_to_string ~id:a.id ~task:a.task verdict);
+        emit (count + 1) parsed responses
+    | (_, Ok (Release r)) :: parsed, responses ->
+        let known = Rt.Admission.release adm ~id:r.task in
+        emit_line (released_to_string ~id:r.id ~task:r.task ~known);
+        emit (count + 1) parsed responses
+    | (_, Ok (Solve _ | Admit _)) :: _, [] | [], _ :: _ ->
         invalid_arg "Serve.Jsonl.serve: response count mismatch"
   in
   let count = emit 0 parsed responses in

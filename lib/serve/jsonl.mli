@@ -36,7 +36,21 @@
 
     [status] is ["ok"], ["infeasible"], ["timeout"] or ["error"] (then an
     ["error"] field carries the message). Result fields are present only
-    when there is a result. *)
+    when there is a result.
+
+    {2 Admission lines}
+
+    A line with ["cmd": "admit"] is a solve line plus a ["period"] (int,
+    control steps) and an optional ["task"] (string key for the admission
+    controller; defaults to the line's [id]). The response line's status
+    is ["admitted"] — with ["heavy"], ["config"], ["response_time"] and
+    ["utilization"] — or ["rejected"] with a stable ["reason"] code, a
+    human ["detail"] and a ["witness"] object carrying exactly the
+    numbers {!Rt.Verdict.witness_holds} re-checks. ["cmd": "release"]
+    with a ["task"] frees an admitted task (status ["released"], or an
+    ["error"] line for an unknown task). ["deadline"], ["deadline_factor"]
+    and ["period"] are validated before dispatch: a non-integer or
+    non-positive value is a per-line error naming the field. *)
 
 (** Resolves a [benchmark] name to an instance. *)
 type lookup = string -> seed:int -> (Dfg.Graph.t * Fulib.Table.t) option
@@ -54,6 +68,24 @@ val request_of_json :
 val request_of_string :
   ?lookup:lookup -> line:int -> string -> (item, string) result
 
+(** One wire line: a plain solve, a periodic admission request, or a
+    release of an admitted task. *)
+type line =
+  | Solve of item
+  | Admit of {
+      id : Obs.Json.t;
+      task : string;  (** admission-controller key *)
+      periodic : Core.Synthesis.periodic;
+    }
+  | Release of { id : Obs.Json.t; task : string }
+
+(** Dispatch on the line's ["cmd"] field (default ["solve"]). *)
+val line_of_json :
+  ?lookup:lookup -> line:int -> Obs.Json.t -> (line, string) result
+
+val line_of_string :
+  ?lookup:lookup -> line:int -> string -> (line, string) result
+
 val response_to_json : id:Obs.Json.t -> Core.Synthesis.response -> Obs.Json.t
 
 (** Compact one-line rendering of {!response_to_json}. *)
@@ -68,12 +100,31 @@ val error_to_string : id:Obs.Json.t -> string -> string
     queued — the client owns the retry. *)
 val busy_to_string : id:Obs.Json.t -> string
 
-(** [serve ?lookup server ~input ~output] — read request lines from
-    [input] until EOF, solve them through [server] in waves (batched via
-    {!Server.solve_batch}, sharded over the server's pool), and write one
-    response line per request line to [output], preserving line order.
-    Malformed lines produce ["error"] response lines in place without
-    disturbing their neighbours. Blank lines are skipped entirely.
-    Returns the number of response lines written. *)
+val verdict_to_json : id:Obs.Json.t -> task:string -> Rt.Verdict.t -> Obs.Json.t
+
+(** The ["admitted"] / ["rejected"] response line for an admit request;
+    rejections carry the machine-checkable ["witness"] object. *)
+val verdict_to_string : id:Obs.Json.t -> task:string -> Rt.Verdict.t -> string
+
+(** The ["released"] response line; with [known:false], the ["error"]
+    line naming the unknown task instead. *)
+val released_to_string : id:Obs.Json.t -> task:string -> known:bool -> string
+
+(** [serve ?lookup ?capacity server ~input ~output] — read request lines
+    from [input] until EOF, solve them through [server] in waves (batched
+    via {!Server.solve_batch}, sharded over the server's pool), and write
+    one response line per request line to [output], preserving line
+    order. Admit/release lines share one {!Rt.Admission} controller
+    (capacity from [?capacity], default {!Rt.Admission.spec_from_env});
+    their synthesis jobs join the batch, the order-dependent admission
+    verdicts are derived afterwards in input order. Malformed lines
+    produce ["error"] response lines in place without disturbing their
+    neighbours. Blank lines are skipped entirely. Returns the number of
+    response lines written. *)
 val serve :
-  ?lookup:lookup -> Server.t -> input:in_channel -> output:out_channel -> int
+  ?lookup:lookup ->
+  ?capacity:Rt.Admission.spec ->
+  Server.t ->
+  input:in_channel ->
+  output:out_channel ->
+  int

@@ -53,14 +53,14 @@ type harness = {
   daemon : int Domain.t;
 }
 
-let start ?(queue_capacity = 4) ?(entries = 64) () =
+let start ?(queue_capacity = 4) ?(entries = 64) ?capacity ?idle_timeout () =
   let in_r, in_w = Unix.pipe () and out_r, out_w = Unix.pipe () in
   let cache = Serve.Cache.create ~entries () in
   let server = Serve.Server.create ~cache ~queue_capacity () in
-  let d = Serve.Daemon.create ~lookup server in
+  let d = Serve.Daemon.create ~lookup ?capacity server in
   let daemon =
     Domain.spawn (fun () ->
-        let n = Serve.Daemon.serve_fd d ~input:in_r ~output:out_w in
+        let n = Serve.Daemon.serve_fd ?idle_timeout d ~input:in_r ~output:out_w in
         Unix.close out_w;
         Unix.close in_r;
         n)
@@ -172,6 +172,117 @@ let test_malformed_and_blank_lines () =
     (counter "serve.daemon.malformed");
   ignore (finish h)
 
+(* --- per-connection admission control ------------------------------------ *)
+
+(* Deterministic inline instance: a two-node chain, 4 steps per node on
+   the cheap unit the solver picks at deadline 16 *)
+let admit_line ~id ~task ~period =
+  Printf.sprintf
+    {|{"cmd": "admit", "id": %S, "task": %S, "graph": {"nodes": [{"name": "a", "op": "mul"}, {"name": "b", "op": "add"}], "edges": [[0, 1]]}, "table": {"types": ["P1", "P2"], "time": [[4, 8], [4, 8]], "cost": [[9, 4], [8, 3]]}, "deadline": 16, "period": %d}|}
+    id task period
+
+let release_line ~id ~task =
+  Printf.sprintf {|{"cmd": "release", "id": %S, "task": %S}|} id task
+
+let test_admission_wire () =
+  let h = start ~capacity:(Rt.Admission.Uniform 2) () in
+  let admitted0 = counter "serve.rt.admitted" in
+  let rejected0 = counter "serve.rt.rejected" in
+  let released0 = counter "serve.rt.released" in
+  (* admit, duplicate-reject, release, re-admit — one connection, with a
+     plain solve interleaved to prove the paths share the wire *)
+  send h (admit_line ~id:"w1" ~task:"t1" ~period:64 ^ "\n");
+  let l = List.hd (recv_lines h 1) in
+  Alcotest.(check string) "first admit" "admitted" (status_of l);
+  Alcotest.(check bool) "admitted utilization gauge set" true
+    (Option.is_some (Obs.Gauge.value_of "serve.rt.utilization_pct"));
+  send h (request_line ~id:"w2" ~seed:40 ^ "\n");
+  Alcotest.(check string) "solve still works mid-session" "ok"
+    (status_of (List.hd (recv_lines h 1)));
+  send h (admit_line ~id:"w3" ~task:"t1" ~period:64 ^ "\n");
+  let dup = List.hd (recv_lines h 1) in
+  Alcotest.(check string) "duplicate rejected" "rejected" (status_of dup);
+  (match J.member "reason" (parse_line dup) with
+  | Some (J.String "duplicate_id") -> ()
+  | _ -> Alcotest.failf "expected duplicate_id reason in %s" dup);
+  send h (release_line ~id:"w4" ~task:"t1" ^ "\n");
+  Alcotest.(check string) "release" "released"
+    (status_of (List.hd (recv_lines h 1)));
+  send h (admit_line ~id:"w5" ~task:"t1" ~period:64 ^ "\n");
+  Alcotest.(check string) "re-admit after release" "admitted"
+    (status_of (List.hd (recv_lines h 1)));
+  (* a period below the chain's min period: rejected with a witness *)
+  send h (admit_line ~id:"w6" ~task:"t2" ~period:1 ^ "\n");
+  let rej = parse_line (List.hd (recv_lines h 1)) in
+  (match (J.member "reason" rej, J.member "witness" rej) with
+  | Some (J.String "period_overrun"), Some w -> (
+      match (J.member "min_period" w, J.member "period" w) with
+      | Some (J.Int mp), Some (J.Int p) ->
+          Alcotest.(check bool) "witness inequality" true (mp > p)
+      | _ -> Alcotest.fail "witness missing its numbers")
+  | _ -> Alcotest.fail "period-1 admit should be a period_overrun rejection");
+  let n = finish h in
+  Alcotest.(check int) "six replies" 6 n;
+  Alcotest.(check int) "admitted counter" (admitted0 + 2)
+    (counter "serve.rt.admitted");
+  Alcotest.(check int) "rejected counter" (rejected0 + 2)
+    (counter "serve.rt.rejected");
+  Alcotest.(check int) "released counter" (released0 + 1)
+    (counter "serve.rt.released")
+
+(* Admission state is per connection: a second daemon session starts with
+   an empty controller, so the same task key admits again *)
+let test_admission_state_per_connection () =
+  let h1 = start ~capacity:(Rt.Admission.Uniform 2) () in
+  send h1 (admit_line ~id:"c1" ~task:"shared" ~period:64 ^ "\n");
+  Alcotest.(check string) "first connection admits" "admitted"
+    (status_of (List.hd (recv_lines h1 1)));
+  ignore (finish h1);
+  let h2 = start ~capacity:(Rt.Admission.Uniform 2) () in
+  send h2 (admit_line ~id:"c2" ~task:"shared" ~period:64 ^ "\n");
+  Alcotest.(check string) "fresh connection has a fresh controller"
+    "admitted"
+    (status_of (List.hd (recv_lines h2 1)));
+  ignore (finish h2)
+
+(* --- idle timeout -------------------------------------------------------- *)
+
+let test_idle_timeout_reaps_silent_client () =
+  let idle0 = counter "serve.daemon.idle_closed" in
+  let h = start ~idle_timeout:0.2 () in
+  (* an active exchange first: the timeout must not bite a live client *)
+  send h (request_line ~id:"i1" ~seed:50 ^ "\n");
+  Alcotest.(check string) "live client served" "ok"
+    (status_of (List.hd (recv_lines h 1)));
+  (* now go silent without closing the pipe: serve_fd must reap the
+     session on its own — finish would otherwise block forever *)
+  let t0 = Unix.gettimeofday () in
+  let n = Domain.join h.daemon in
+  let waited = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "one response before the reap" 1 n;
+  Alcotest.(check bool) "reaped after roughly the timeout" true
+    (waited < 10.0);
+  Alcotest.(check int) "idle_closed counter" (idle0 + 1)
+    (counter "serve.daemon.idle_closed");
+  Unix.close h.to_daemon;
+  close_in h.from_daemon
+
+let test_idle_timeout_validated () =
+  let server = Serve.Server.create ~cache:(Serve.Cache.create ~entries:4 ()) () in
+  let d = Serve.Daemon.create ~lookup server in
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool)
+        (Printf.sprintf "idle_timeout %f rejected" bad)
+        true
+        (try
+           ignore
+             (Serve.Daemon.serve_fd ~idle_timeout:bad d ~input:Unix.stdin
+                ~output:Unix.stdout);
+           false
+         with Invalid_argument _ -> true))
+    [ 0.0; -1.0; Float.nan; Float.infinity ]
+
 (* --- socket listener + client pump --------------------------------------- *)
 
 let test_socket_roundtrip () =
@@ -236,6 +347,20 @@ let () =
         [
           Alcotest.test_case "capacity-1 burst sheds busy, retry succeeds"
             `Quick test_busy_backpressure;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "admit/release wire path" `Quick
+            test_admission_wire;
+          Alcotest.test_case "state is per connection" `Quick
+            test_admission_state_per_connection;
+        ] );
+      ( "idle timeout",
+        [
+          Alcotest.test_case "silent client reaped" `Quick
+            test_idle_timeout_reaps_silent_client;
+          Alcotest.test_case "bad timeouts rejected" `Quick
+            test_idle_timeout_validated;
         ] );
       ( "socket",
         [

@@ -208,6 +208,52 @@ let test_histogram_buckets_and_quantiles () =
   Obs.Histogram.reset h;
   Alcotest.(check int) "reset" 0 (Obs.Histogram.count h)
 
+(* The empty-quantile contract: 0.0 is the sentinel, no non-empty
+   histogram can report it, and argument validation outranks emptiness. *)
+let test_histogram_empty_quantile_contract () =
+  let h = Obs.Histogram.make "test.obs.hist_empty" in
+  Obs.Histogram.reset h;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "empty sentinel at q=%.2f" q)
+        0.0 (Obs.Histogram.quantile h q))
+    [ 0.0; 0.25; 0.5; 0.99; 1.0 ];
+  let raises q =
+    try
+      ignore (Obs.Histogram.quantile h q);
+      false
+    with Invalid_argument _ -> true
+  in
+  (* bad q raises even while empty: validation before the emptiness check *)
+  Alcotest.(check bool) "q < 0 raises on empty" true (raises (-0.1));
+  Alcotest.(check bool) "q > 1 raises on empty" true (raises 1.5);
+  Alcotest.(check bool) "nan q raises on empty" true (raises Float.nan);
+  (* all-zero snapshot is an empty histogram for the diffable path too *)
+  Alcotest.(check (float 0.0))
+    "all-zero buckets hit the sentinel" 0.0
+    (Obs.Histogram.quantile_of_buckets
+       (Array.make Obs.Histogram.num_buckets 0)
+       0.5);
+  (Alcotest.(check bool) "bad q on zero buckets raises" true
+     (try
+        ignore
+          (Obs.Histogram.quantile_of_buckets
+             (Array.make Obs.Histogram.num_buckets 0)
+             2.0);
+        false
+      with Invalid_argument _ -> true));
+  (* the sentinel is unreachable once anything was observed: even a
+     sub-ns observation reports bucket 0's midpoint, 0.5 ns *)
+  Obs.Histogram.observe h 0.0;
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "sub-ns floor at q=%.2f" q)
+        0.5 (Obs.Histogram.quantile h q))
+    [ 0.0; 0.5; 1.0 ];
+  Obs.Histogram.reset h
+
 let test_histogram_merge_and_registry () =
   let a = Obs.Histogram.make "test.obs.hist_a" in
   let b = Obs.Histogram.make "test.obs.hist_b" in
@@ -316,6 +362,7 @@ let () =
       ( "histograms",
         [
           quick "buckets and quantiles" test_histogram_buckets_and_quantiles;
+          quick "empty-quantile contract" test_histogram_empty_quantile_contract;
           quick "merge and registry" test_histogram_merge_and_registry;
           quick "concurrent observes" test_histogram_concurrent_observes;
         ] );

@@ -59,6 +59,50 @@ let min_period_tight =
       in
       legal_at_p && sim.Sched.Cyclic_schedule.ok)
 
+(* min_period agrees with the simulation-based legality oracle on both
+   sides: legal at min_period, illegal one step below (when > 1).
+   [simulate] only re-checks dependences, so the oracle's other half is
+   the resource bound — one iteration's work per period on the schedule's
+   peak configuration. Random delays are grafted onto some edges first
+   (adding delay only relaxes a dependence, so the schedule stays valid)
+   to exercise the dependence bound, not just the resource one. *)
+let min_period_is_simulation_minimal =
+  of_seed (fun seed ->
+      let rng, g, tbl = dag_instance seed in
+      let a = Assign.Assignment.all_fastest tbl in
+      let deadline =
+        Assign.Assignment.makespan g tbl a + Workloads.Prng.int rng 4
+      in
+      match Sched.Min_resource.run g tbl a ~deadline with
+      | None -> false
+      | Some { Sched.Min_resource.schedule = s; _ } ->
+          let g =
+            Dfg.Graph.of_edges ~names:(Dfg.Graph.names g)
+              ~ops:(Array.init (Dfg.Graph.num_nodes g) (Dfg.Graph.op g))
+              (List.map
+                 (fun (e : Dfg.Graph.edge) ->
+                   if Workloads.Prng.int rng 3 = 0 then
+                     { e with Dfg.Graph.delay = 1 + Workloads.Prng.int rng 2 }
+                   else e)
+                 (Dfg.Graph.edges g))
+          in
+          let config = Sched.Schedule.peak_usage tbl s in
+          let work = Array.make (Fulib.Table.num_types tbl) 0 in
+          Array.iteri
+            (fun v t ->
+              work.(t) <- work.(t) + Fulib.Table.time tbl ~node:v ~ftype:t)
+            s.Sched.Schedule.assignment;
+          let legal period =
+            period >= 1
+            && (Sched.Cyclic_schedule.simulate g tbl s ~period ~iterations:8)
+                 .Sched.Cyclic_schedule.ok
+            && Array.for_all2
+                 (fun w c -> w = 0 || w <= period * c)
+                 work config
+          in
+          let p = Sched.Cyclic_schedule.min_period g tbl s in
+          legal p && (p = 1 || not (legal (p - 1))))
+
 let simulation_is_legality_oracle =
   of_seed (fun seed ->
       let rng, g, tbl = dag_instance ~max_nodes:8 seed in
@@ -208,6 +252,8 @@ let () =
           prop "binding always valid and tight" 120 binding_valid;
           prop "resource-constrained schedules valid" 120 resource_constrained_valid;
           prop "min period legal and simulatable" 120 min_period_tight;
+          prop "min period minimal against the simulation oracle" 120
+            min_period_is_simulation_minimal;
           prop "simulation equals legality" 120 simulation_is_legality_oracle;
           prop "left-edge register allocation optimal" 120 registers_left_edge_optimal;
           prop "exact schedulability confirms list configs" 80 exact_schedule_consistent_with_list;

@@ -439,6 +439,136 @@ let lookup name ~seed =
     (fun g -> (g, table_for ~seed g))
     (List.assoc_opt name (Workloads.Filters.extended ()))
 
+(* deadline / deadline_factor / period are validated before dispatch: a
+   bad value is a per-line error that names the offending field *)
+let test_jsonl_field_validation () =
+  let error_mentions field s =
+    match Serve.Jsonl.line_of_string ~lookup ~line:1 s with
+    | Ok _ -> Alcotest.failf "expected an error for %s" s
+    | Error msg ->
+        let contains hay needle =
+          let nl = String.length needle and hl = String.length hay in
+          let rec go i =
+            i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+          in
+          go 0
+        in
+        if not (contains msg field) then
+          Alcotest.failf "error for %s does not name %S: %s" s field msg
+  in
+  error_mentions "deadline" {|{"benchmark": "diffeq", "deadline": 0}|};
+  error_mentions "deadline" {|{"benchmark": "diffeq", "deadline": -4}|};
+  error_mentions "deadline" {|{"benchmark": "diffeq", "deadline": 2.5}|};
+  error_mentions "deadline" {|{"benchmark": "diffeq", "deadline": "soon"}|};
+  error_mentions "deadline_factor"
+    {|{"benchmark": "diffeq", "deadline_factor": 0}|};
+  error_mentions "deadline_factor"
+    {|{"benchmark": "diffeq", "deadline_factor": -1.5}|};
+  error_mentions "deadline_factor"
+    {|{"benchmark": "diffeq", "deadline_factor": "fast"}|};
+  error_mentions "period"
+    {|{"cmd": "admit", "benchmark": "diffeq", "deadline": 40}|};
+  error_mentions "period"
+    {|{"cmd": "admit", "benchmark": "diffeq", "deadline": 40, "period": 0}|};
+  error_mentions "period"
+    {|{"cmd": "admit", "benchmark": "diffeq", "deadline": 40, "period": 1.5}|};
+  error_mentions "cmd" {|{"cmd": "evict", "task": "t1"}|};
+  (* a release with no task key falls back to the line's id *)
+  (match Serve.Jsonl.line_of_string ~lookup ~line:9 {|{"cmd": "release"}|} with
+  | Ok (Serve.Jsonl.Release r) ->
+      Alcotest.(check string) "task defaults to the line id" "9" r.task
+  | Ok _ -> Alcotest.fail "bare release parsed as something else"
+  | Error e -> Alcotest.failf "bare release rejected: %s" e);
+  (* valid lines of each kind still parse *)
+  (match
+     Serve.Jsonl.line_of_string ~lookup ~line:1
+       {|{"cmd": "admit", "benchmark": "diffeq", "deadline": 40, "period": 64, "task": "t1"}|}
+   with
+  | Ok (Serve.Jsonl.Admit a) ->
+      Alcotest.(check string) "task key" "t1" a.task;
+      Alcotest.(check int) "period" 64 a.periodic.Core.Synthesis.period
+  | Ok _ -> Alcotest.fail "admit line parsed as something else"
+  | Error e -> Alcotest.failf "admit line rejected: %s" e);
+  match
+    Serve.Jsonl.line_of_string ~lookup ~line:1 {|{"cmd": "release", "task": "t1"}|}
+  with
+  | Ok (Serve.Jsonl.Release r) -> Alcotest.(check string) "task key" "t1" r.task
+  | Ok _ -> Alcotest.fail "release line parsed as something else"
+  | Error e -> Alcotest.failf "release line rejected: %s" e
+
+(* inline two-node chain: deterministic instance for admission lines *)
+let inline_fields =
+  {|"graph": {"nodes": [{"name": "a", "op": "mul"}, {"name": "b", "op": "add"}], "edges": [[0, 1]]}, "table": {"types": ["P1", "P2"], "time": [[4, 8], [4, 8]], "cost": [[9, 4], [8, 3]]}, "deadline": 16|}
+
+let test_jsonl_serve_admission () =
+  let lines =
+    [
+      (* light: 8+8 work over period 64 on the cheap units *)
+      Printf.sprintf {|{"cmd": "admit", "id": "a1", "task": "t1", %s, "period": 64}|}
+        inline_fields;
+      (* plain solve rides along in the same batch *)
+      Printf.sprintf {|{"id": "s1", %s}|} inline_fields;
+      (* a serial chain cannot repeat every step: rejected with witness *)
+      Printf.sprintf {|{"cmd": "admit", "id": "a2", "task": "t2", %s, "period": 1}|}
+        inline_fields;
+      {|{"cmd": "release", "id": "r1", "task": "t1"}|};
+      {|{"cmd": "release", "id": "r2", "task": "t1"}|};
+    ]
+  in
+  let dir = Filename.temp_file "serve_admit" ".d" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let in_path = Filename.concat dir "in.jsonl" in
+  let out_path = Filename.concat dir "out.jsonl" in
+  let oc = open_out in_path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc;
+  Par.Pool.with_pool ~domains:2 (fun pool ->
+      let server = Serve.Server.create ~pool () in
+      let ic = open_in in_path and oc = open_out out_path in
+      let served =
+        Serve.Jsonl.serve ~lookup ~capacity:(Rt.Admission.Uniform 2) server
+          ~input:ic ~output:oc
+      in
+      close_in ic;
+      close_out oc;
+      Alcotest.(check int) "every line answered" 5 served);
+  let ic = open_in out_path in
+  let rec read acc =
+    match input_line ic with
+    | l -> read (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let out = read [] in
+  close_in ic;
+  let json_field name l =
+    Option.bind (Obs.Json.member name (Obs.Json.parse_exn l)) Obs.Json.to_string_opt
+  in
+  Alcotest.(check (list (option string)))
+    "statuses in line order"
+    [ Some "admitted"; Some "ok"; Some "rejected"; Some "released"; Some "error" ]
+    (List.map (json_field "status") out);
+  Alcotest.(check (option string))
+    "rejection reason is the stable code" (Some "period_overrun")
+    (json_field "reason" (List.nth out 2));
+  (* the witness carries the numbers the checker re-derives *)
+  (match Obs.Json.member "witness" (Obs.Json.parse_exn (List.nth out 2)) with
+  | Some w -> (
+      match (Obs.Json.member "min_period" w, Obs.Json.member "period" w) with
+      | Some (Obs.Json.Int mp), Some (Obs.Json.Int p) ->
+          Alcotest.(check bool) "witness inequality holds" true (mp > p)
+      | _ -> Alcotest.fail "witness missing min_period/period")
+  | None -> Alcotest.fail "rejected line has no witness");
+  (* the double release names the unknown task *)
+  (match json_field "error" (List.nth out 4) with
+  | Some msg ->
+      Alcotest.(check bool) "unknown-task error names it" true
+        (String.length msg > 0)
+  | None -> Alcotest.fail "double release should be an error line");
+  Sys.remove in_path;
+  Sys.remove out_path;
+  Sys.rmdir dir
+
 let test_jsonl_serve_channels () =
   let lines =
     [
@@ -549,6 +679,10 @@ let () =
           Alcotest.test_case "inline round trip" `Quick
             test_jsonl_inline_round_trip;
           Alcotest.test_case "parse errors" `Quick test_jsonl_parse_errors;
+          Alcotest.test_case "field validation names the field" `Quick
+            test_jsonl_field_validation;
           Alcotest.test_case "serve channels" `Quick test_jsonl_serve_channels;
+          Alcotest.test_case "admission round trip" `Quick
+            test_jsonl_serve_admission;
         ] );
     ]
