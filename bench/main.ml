@@ -372,6 +372,146 @@ let mem_tests =
              Check.Memory.check g tbl schedule binding));
     ]
 
+(* --- DVFS: table expansion, slack reclamation, online re-solve --------- *)
+
+(* The headline pair is online-incremental vs online-scratch on n >= 100
+   random DAGs over a 3-level expanded table: each measured run drifts one
+   node's times and re-solves — the incremental side through the
+   controller's Repeat_session (refresh one row + dirty-ancestor chain),
+   the scratch side through a full Dfg_assign.repeat. Same drifted table,
+   same answer (the qcheck differential in test/test_dvfs.ml), so the row
+   prices exactly the incremental machinery. *)
+let dvfs_tests =
+  let leveled_instance n =
+    let g, tbl, deadline = scaling_dag_instance n in
+    let etbl, mapping =
+      Fulib.Dvfs.expand tbl
+        ~levels:
+          (Fulib.Dvfs.uniform ~levels:3 ~types:(Fulib.Table.num_types tbl))
+    in
+    (g, tbl, etbl, mapping, deadline)
+  in
+  let controller n =
+    lazy
+      (let g, _, etbl, _, deadline = leveled_instance n in
+       let ctrl = Online.Controller.create g etbl ~deadline in
+       let flip = ref false in
+       (* toggle one mid-graph node between nominal and +25% drift so
+          every measured run perturbs and re-solves *)
+       let drift () =
+         flip := not !flip;
+         Online.Controller.scale_node ctrl ~node:(n / 2)
+           ~pct:(if !flip then 125 else 100)
+       in
+       (ctrl, drift))
+  in
+  let inc100 = controller 100 and inc200 = controller 200 in
+  let scr100 = controller 100 and scr200 = controller 200 in
+  let pick a b n = if n = 100 then a else b in
+  let retrofit =
+    lazy
+      (let g, tbl, etbl, mapping, deadline = leveled_instance 100 in
+       match Assign.Dfg_assign.repeat g tbl ~deadline with
+       | None -> failwith "bench: dvfs retrofit assignment infeasible"
+       | Some a -> (
+           match Sched.Min_resource.run g tbl a ~deadline with
+           | None -> failwith "bench: dvfs retrofit scheduling failed"
+           | Some { Sched.Min_resource.schedule; config; _ } ->
+               (* embed the nominal solve into the expanded table: level 0
+                  of each base type is its first sibling *)
+               let embed =
+                 Array.map
+                   (fun b -> mapping.Fulib.Dvfs.first.(b))
+                   schedule.Sched.Schedule.assignment
+               in
+               let s' =
+                 {
+                   Sched.Schedule.start =
+                     Array.copy schedule.Sched.Schedule.start;
+                   assignment = embed;
+                 }
+               in
+               let config' =
+                 Array.make (Fulib.Table.num_types etbl) 0
+               in
+               Array.iteri
+                 (fun b c -> config'.(mapping.Fulib.Dvfs.first.(b)) <- c)
+                 config;
+               (g, etbl, mapping, config', deadline, s')))
+  in
+  Test.make_grouped ~name:"dvfs"
+    [
+      Test.make_indexed ~name:"expand-3" ~args:[ 100 ] (fun n ->
+          let _, tbl, _, _, _ = leveled_instance n in
+          Staged.stage (fun () ->
+              Fulib.Dvfs.expand tbl
+                ~levels:
+                  (Fulib.Dvfs.uniform ~levels:3
+                     ~types:(Fulib.Table.num_types tbl))));
+      Test.make_indexed ~name:"reclaim" ~args:[ 100 ] (fun n ->
+          ignore n;
+          Staged.stage (fun () ->
+              let g, etbl, mapping, config, deadline, s =
+                Lazy.force retrofit
+              in
+              Sched.Reclaim.run g etbl ~mapping ~config ~deadline s));
+      Test.make_indexed ~name:"online-incremental" ~args:[ 100; 200 ]
+        (fun n ->
+          Staged.stage (fun () ->
+              let ctrl, drift = Lazy.force (pick inc100 inc200 n) in
+              drift ();
+              Online.Controller.resolve ctrl));
+      Test.make_indexed ~name:"online-scratch" ~args:[ 100; 200 ] (fun n ->
+          Staged.stage (fun () ->
+              let ctrl, drift = Lazy.force (pick scr100 scr200 n) in
+              drift ();
+              Online.Controller.resolve_scratch ctrl));
+    ]
+
+(* --- Real-time admission: verdict throughput and certificate cost ------ *)
+
+(* Specs are analysed (synthesized) once outside the staged thunks; the
+   rows price the admission layer itself — try_admit verdicts over a fresh
+   controller per run, and the one-hyperperiod simulation certificate over
+   an admitted set — as the task count scales. *)
+let rt_tests =
+  let analysed count =
+    lazy
+      (let rng = Workloads.Prng.create (9000 + count) in
+       let specs = Workloads.Task_set.random rng ~tasks:count in
+       List.filter_map
+         (fun (s : Workloads.Task_set.spec) ->
+           let p =
+             Core.Synthesis.periodic ~algorithm:Core.Synthesis.Repeat
+               ~period:s.Workloads.Task_set.period
+               ~deadline:s.Workloads.Task_set.deadline
+               s.Workloads.Task_set.graph s.Workloads.Task_set.table
+           in
+           match Core.Synthesis.analyse_periodic p with
+           | Ok an -> Some (s.Workloads.Task_set.name, an)
+           | Error _ -> None)
+         specs)
+  in
+  let sized = [ 8; 16; 32 ] in
+  let pools = List.map (fun c -> (c, analysed c)) sized in
+  let admit_all tasks =
+    let adm = Rt.Admission.create ~capacity:(Rt.Admission.Uniform 4) () in
+    List.iter
+      (fun (id, an) -> ignore (Rt.Admission.try_admit adm ~id an))
+      tasks;
+    adm
+  in
+  let admitted = List.map (fun (c, l) -> (c, lazy (admit_all (Lazy.force l)))) pools in
+  Test.make_grouped ~name:"rt"
+    [
+      Test.make_indexed ~name:"admit" ~args:sized (fun n ->
+          let tasks = List.assoc n pools in
+          Staged.stage (fun () -> admit_all (Lazy.force tasks)));
+      Test.make_indexed ~name:"certificate" ~args:sized (fun n ->
+          let adm = List.assoc n admitted in
+          Staged.stage (fun () -> Rt.Sim.run (Lazy.force adm)));
+    ]
+
 (* --- Observability overhead: the disabled-mode no-op contract --------- *)
 
 (* The obs layer claims near-zero cost when tracing is off: a span is one
@@ -503,6 +643,8 @@ let all_groups =
     ("par", par_tests);
     ("serve", serve_tests);
     ("mem", mem_tests);
+    ("dvfs", dvfs_tests);
+    ("rt", rt_tests);
     ("obs", obs_tests);
   ]
 

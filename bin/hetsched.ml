@@ -94,8 +94,16 @@ let deadline_arg =
   let doc = "Timing constraint (control steps); default 1.2x the minimum." in
   Arg.(value & opt (some int) None & info [ "deadline"; "T" ] ~doc)
 
+let levels_arg =
+  let doc =
+    "DVFS frequency levels per FU type (uniform ladders from 100%% down to \
+     50%%); the cost column becomes energy and static slack is reclaimed \
+     after scheduling."
+  in
+  Arg.(value & opt (some int) None & info [ "levels" ] ~docv:"N" ~doc)
+
 let synth_cmd =
-  let run name seed algo deadline file =
+  let run name seed algo deadline file levels =
     let g, table = instance ~name ~file ~seed in
     let deadline =
       match deadline with
@@ -104,16 +112,32 @@ let synth_cmd =
           int_of_float
             (ceil (1.2 *. float_of_int (Core.Synthesis.min_deadline g table)))
     in
+    let levels =
+      match levels with
+      | None -> None
+      | Some n when n >= 1 && n <= 16 ->
+          Some (Fulib.Dvfs.uniform ~levels:n ~types:(Fulib.Table.num_types table))
+      | Some n ->
+          Printf.eprintf "hetsched: --levels must be in 1..16 (got %d)\n" n;
+          exit 2
+    in
     let label = match file with Some p -> p | None -> name in
     Printf.printf "instance %s, deadline %d (minimum %d)\n" label deadline
       (Core.Synthesis.min_deadline g table);
-    let resp =
-      Core.Synthesis.solve
-        (Core.Synthesis.request ~algorithm:algo ~deadline g table)
-    in
+    let req = Core.Synthesis.request ?levels ~algorithm:algo ~deadline g table in
+    let resp = Core.Synthesis.solve req in
     match (resp.Core.Synthesis.status, resp.Core.Synthesis.result) with
     | Core.Synthesis.Ok, Some r ->
-        Format.printf "%a@." (Core.Synthesis.pp_result ~graph:g ~table) r
+        let table = Core.Synthesis.response_table req resp in
+        Format.printf "%a@." (Core.Synthesis.pp_result ~graph:g ~table) r;
+        (match resp.Core.Synthesis.dvfs with
+        | None -> ()
+        | Some d ->
+            Printf.printf
+              "energy: %d before reclamation, %d after (%d saved, %d move(s))\n"
+              d.Core.Synthesis.energy_before d.Core.Synthesis.energy_after
+              (d.Core.Synthesis.energy_before - d.Core.Synthesis.energy_after)
+              d.Core.Synthesis.reclaim_moves)
     | Core.Synthesis.Infeasible, _ ->
         print_endline "infeasible: no assignment meets the deadline"
     | Core.Synthesis.Infeasible_memory, _ ->
@@ -130,7 +154,107 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Run assignment + minimum-resource scheduling")
-    Term.(const run $ benchmark_opt_arg $ seed_arg $ algo_arg $ deadline_arg $ file_arg)
+    Term.(const run $ benchmark_opt_arg $ seed_arg $ algo_arg $ deadline_arg
+          $ file_arg $ levels_arg)
+
+(* Online re-solve demo: expand the instance's table with DVFS ladders,
+   then drift node execution times for a number of rounds. Each round the
+   controller re-simulates the running schedule, re-solves incrementally
+   when at risk, and the result is differentially checked against a full
+   from-scratch re-synthesis — any divergence is a hard failure (exit 1),
+   which is what the CI dvfs-smoke job greps for. *)
+let dvfs_cmd =
+  let rounds_arg =
+    let doc = "Perturbation rounds to run." in
+    Arg.(value & opt int 20 & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let run name seed algo deadline file levels rounds =
+    ignore algo;
+    let g, base = instance ~name ~file ~seed in
+    let levels = Option.value levels ~default:3 in
+    if levels < 1 || levels > 16 then begin
+      Printf.eprintf "hetsched: --levels must be in 1..16 (got %d)\n" levels;
+      exit 2
+    end;
+    if rounds < 1 then begin
+      Printf.eprintf "hetsched: --rounds must be >= 1 (got %d)\n" rounds;
+      exit 2
+    end;
+    let table, _mapping =
+      Fulib.Dvfs.expand base
+        ~levels:(Fulib.Dvfs.uniform ~levels ~types:(Fulib.Table.num_types base))
+    in
+    let deadline =
+      match deadline with
+      | Some t -> t
+      | None ->
+          int_of_float
+            (ceil (1.2 *. float_of_int (Core.Synthesis.min_deadline g base)))
+    in
+    let label = match file with Some p -> p | None -> name in
+    Printf.printf "instance %s, %d levels (%d expanded types), deadline %d\n"
+      label levels (Fulib.Table.num_types table) deadline;
+    let ctrl = Online.Controller.create g table ~deadline in
+    (match Online.Controller.current ctrl with
+    | None ->
+        Printf.eprintf "infeasible: initial design misses the deadline\n";
+        exit 1
+    | Some o ->
+        Printf.printf "initial design: energy %d, config %s\n"
+          o.Online.Controller.cost
+          (Sched.Config.to_string o.Online.Controller.config));
+    let rng = Workloads.Prng.create (seed lxor 0x5eed) in
+    let n = Dfg.Graph.num_nodes g in
+    let risks = ref 0 and resolves = ref 0 and infeasible = ref 0 in
+    for round = 1 to rounds do
+      let node = Workloads.Prng.int rng n in
+      let pct = Workloads.Prng.int_in rng 75 250 in
+      Online.Controller.scale_node ctrl ~node ~pct;
+      if Online.Controller.at_risk ctrl then begin
+        incr risks;
+        let inc = Online.Controller.resolve ctrl in
+        let full = Online.Controller.resolve_scratch ctrl in
+        (match (inc, full) with
+        | None, None -> incr infeasible
+        | Some a, Some b
+          when a.Online.Controller.cost = b.Online.Controller.cost
+               && a.Online.Controller.assignment = b.Online.Controller.assignment
+          ->
+            incr resolves
+        | Some a, Some b ->
+            Printf.eprintf
+              "round %d: DIVERGED — incremental cost %d, scratch cost %d\n"
+              round a.Online.Controller.cost b.Online.Controller.cost;
+            exit 1
+        | Some _, None | None, Some _ ->
+            Printf.eprintf
+              "round %d: DIVERGED — feasibility disagrees (incremental %s, \
+               scratch %s)\n"
+              round
+              (if inc = None then "infeasible" else "feasible")
+              (if full = None then "infeasible" else "feasible");
+            exit 1)
+      end
+    done;
+    (match Online.Controller.current ctrl with
+    | None -> ()
+    | Some o ->
+        Printf.printf "final design: energy %d, config %s\n"
+          o.Online.Controller.cost
+          (Sched.Config.to_string o.Online.Controller.config));
+    Printf.printf
+      "%d round(s): %d at-risk, %d incremental re-solve(s), %d infeasible \
+       drift(s)\n"
+      rounds !risks !resolves !infeasible;
+    print_endline "differential ok"
+  in
+  Cmd.v
+    (Cmd.info "dvfs"
+       ~doc:"Online re-solve demo: drift execution times on a DVFS-expanded \
+             table, re-solve incrementally when the deadline is at risk, \
+             and differentially check against full re-synthesis")
+    Term.(const run $ benchmark_opt_arg $ seed_arg $ algo_arg $ deadline_arg
+          $ file_arg $ levels_arg $ rounds_arg)
 
 let frontier_cmd =
   let csv_arg =
@@ -540,4 +664,4 @@ let () =
     Cmd.info "hetsched"
       ~doc:"Heterogeneous FU assignment and scheduling for real-time DSP"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; dot_cmd; synth_cmd; frontier_cmd; netlist_cmd; csv_cmd; compile_cmd; gantt_cmd; analyze_cmd; serve_cmd; daemon_cmd; client_cmd; admit_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; dot_cmd; synth_cmd; frontier_cmd; netlist_cmd; csv_cmd; compile_cmd; gantt_cmd; analyze_cmd; serve_cmd; daemon_cmd; client_cmd; admit_cmd; dvfs_cmd ]))

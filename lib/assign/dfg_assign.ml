@@ -1,6 +1,8 @@
 type orientation = Forward | Transposed
 
 let c_repeat_runs = Obs.Counter.make "repeat.runs"
+let c_session_resolves = Obs.Counter.make "repeat.session_resolves"
+let c_session_refreshed = Obs.Counter.make "repeat.session_refreshed_nodes"
 let c_search_rounds = Obs.Counter.make "repeat_search.rounds"
 let c_search_candidates = Obs.Counter.make "repeat_search.candidates"
 
@@ -280,6 +282,130 @@ let repeat_search ?pool ?max_nodes g table ~deadline =
       with Infeasible -> None
     end
   end
+
+(* --- Reusable Repeat session (online re-solve) ----------------------- *)
+
+(* A [Repeat] run split into a long-lived session: the expanded tree, the
+   fixing order, the placement mask, and the kernel survive across solves,
+   so when execution times drift at run time only the perturbed nodes'
+   copies (plus previously pinned duplicates) are [Tree_kernel.refresh]ed
+   and the DP recomputes just their ancestor chains — no re-expansion, no
+   re-allocation, no full first DP. [resolve] replays the exact pin
+   sequence of [repeat_with_order ~order:`By_copies], so its result is
+   bit-identical to a from-scratch [repeat] on the session's current
+   table. *)
+module Repeat_session = struct
+  type t = {
+    tree : Dfg.Expand.tree;
+    dups : int list;  (* `By_copies` fixing order *)
+    k : int;
+    n : int;
+    kernel : Tree_kernel.t;
+    mutable table : Fulib.Table.t;  (* unpinned table the kernel rows mirror *)
+    mutable pinned : bool;  (* a resolve has pinned duplicate copies *)
+    mutable cached : Assignment.t option option;  (* None = replay needed *)
+  }
+
+  let create ?max_nodes g table ~deadline =
+    if deadline < 0 then
+      invalid_arg "Repeat_session.create: negative deadline";
+    let _, tree = choose_tree ?max_nodes g in
+    let dups = order_dups tree `By_copies (Dfg.Expand.duplicated_nodes tree) in
+    let forbid = project_forbid g table tree.Dfg.Expand.origin in
+    {
+      tree;
+      dups;
+      k = Fulib.Table.num_types table;
+      n = Dfg.Graph.num_nodes g;
+      kernel = tree_kernel ?forbid tree table ~deadline;
+      table;
+      pinned = false;
+      cached = None;
+    }
+
+  let retime t table' =
+    if
+      Fulib.Table.num_types table' <> t.k
+      || Fulib.Table.num_nodes table' <> t.n
+    then invalid_arg "Repeat_session.retime: table shape mismatch";
+    if Fulib.Table.mem_capacities table' <> Fulib.Table.mem_capacities t.table
+    then invalid_arg "Repeat_session.retime: memory capacities changed";
+    let ft' = Fulib.Table.flat_times table'
+    and fc' = Fulib.Table.flat_costs table' in
+    let ft = Fulib.Table.flat_times t.table
+    and fc = Fulib.Table.flat_costs t.table in
+    let changed v =
+      let off = v * t.k in
+      let d = ref false in
+      for i = 0 to t.k - 1 do
+        if ft'.(off + i) <> ft.(off + i) || fc'.(off + i) <> fc.(off + i) then
+          d := true
+      done;
+      !d
+    in
+    let refresh_copies v =
+      Obs.Counter.incr c_session_refreshed;
+      let times = Array.sub ft' (v * t.k) t.k
+      and costs = Array.sub fc' (v * t.k) t.k in
+      List.iter
+        (fun c -> Tree_kernel.refresh t.kernel ~node:c ~times ~costs)
+        t.tree.Dfg.Expand.copies.(v)
+    in
+    for v = 0 to t.n - 1 do
+      if changed v then refresh_copies v
+    done;
+    (* Pinned duplicate rows no longer mirror any table: restore them even
+       when their table rows did not change, so [resolve] replays the pin
+       sequence against clean rows. *)
+    if t.pinned then
+      List.iter (fun v -> if not (changed v) then refresh_copies v) t.dups;
+    t.pinned <- false;
+    t.cached <- None;
+    t.table <- table'
+
+  let resolve t =
+    match t.cached with
+    | Some res -> Option.map Array.copy res
+    | None ->
+        Obs.Counter.incr c_session_resolves;
+        let a = Array.make t.n (-1) in
+        let exception Infeasible in
+        let res =
+          try
+            if t.n = 0 then Some [||]
+            else begin
+              if t.dups <> [] then t.pinned <- true;
+              List.iter
+                (fun v ->
+                  match Tree_kernel.solve t.kernel with
+                  | None -> raise Infeasible
+                  | Some (ta, _) ->
+                      let ty =
+                        min_time_choice t.table ta t.tree.Dfg.Expand.copies.(v)
+                          v
+                      in
+                      a.(v) <- ty;
+                      List.iter
+                        (fun copy ->
+                          Tree_kernel.pin t.kernel ~node:copy ~ftype:ty)
+                        t.tree.Dfg.Expand.copies.(v))
+                t.dups;
+              match Tree_kernel.solve t.kernel with
+              | None -> raise Infeasible
+              | Some (ta, _) ->
+                  for v = 0 to t.n - 1 do
+                    if a.(v) < 0 then
+                      match t.tree.Dfg.Expand.copies.(v) with
+                      | [ c ] -> a.(v) <- ta.(c)
+                      | copies -> a.(v) <- min_time_choice t.table ta copies v
+                  done;
+                  Some a
+            end
+          with Infeasible -> None
+        in
+        t.cached <- Some res;
+        Option.map Array.copy res
+end
 
 (* The original full-re-solve Repeat (a fresh list-based DP over a freshly
    pinned table per duplicated node), kept as the differential-testing and

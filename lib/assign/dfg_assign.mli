@@ -78,6 +78,33 @@ val repeat_with_order :
   deadline:int ->
   Assignment.t option
 
+(** A [repeat] run split into a long-lived session for online re-solving:
+    the expanded tree, fixing order, placement mask, and {!Tree_kernel}
+    survive across solves. After {!Repeat_session.retime} with a perturbed
+    table, only the changed nodes' copies (plus previously pinned
+    duplicates) are refreshed and the DP recomputes just their ancestor
+    chains — no re-expansion, no re-allocation, no full first DP.
+    {!Repeat_session.resolve} is bit-identical to a from-scratch {!repeat}
+    on the session's current table. *)
+module Repeat_session : sig
+  type t
+
+  (** Raises [Invalid_argument] on a negative deadline. *)
+  val create :
+    ?max_nodes:int -> Dfg.Graph.t -> Fulib.Table.t -> deadline:int -> t
+
+  (** [retime t table'] moves the session to a perturbed table. [table']
+      must have the same shape and memory capacities as the session's
+      current table (only times/costs may drift — capacities feed the
+      placement mask, which is fixed at {!create}). *)
+  val retime : t -> Fulib.Table.t -> unit
+
+  (** The [repeat] assignment for the session's current table ([None] =
+      deadline infeasible). Idempotent: a second call without an
+      intervening {!retime} returns the cached result. *)
+  val resolve : t -> Assignment.t option
+end
+
 (** Run [once] on a fixed orientation (ablation of the smaller-tree rule). *)
 val once_oriented :
   ?max_nodes:int ->

@@ -8,6 +8,7 @@ let c_solves = Obs.Counter.make "kernel.solves"
 let c_rows = Obs.Counter.make "kernel.rows"
 let c_dirty_rows = Obs.Counter.make "kernel.dirty_rows"
 let c_pins = Obs.Counter.make "kernel.pins"
+let c_refreshes = Obs.Counter.make "kernel.refreshes"
 let c_dirty_walk = Obs.Counter.make "kernel.dirty_ancestors"
 
 (* Flat, mutable DP state for [Tree_Assign] over a forest. All matrices are
@@ -21,9 +22,10 @@ type t = {
   n : int;
   k : int;
   deadline : int;
-  times : int array;  (* n*k, owned: pin writes here *)
+  times : int array;  (* n*k, owned: pin/refresh write here *)
   costs : int array;  (* n*k, owned *)
   forbid : bool array;  (* n*k placement mask, owned; empty = none *)
+  forbid0 : bool array;  (* pristine copy of [forbid]: refresh restores from it *)
   parent : int array;  (* -1 for roots; well-defined on a forest *)
   x : int array;  (* n*(deadline+1) subtree costs; [infeasible] = none *)
   choice : int array;  (* n*(deadline+1) chosen type; -1 = none *)
@@ -62,6 +64,7 @@ let create ?forbid g ~times ~costs ~k ~deadline =
     times;
     costs;
     forbid;
+    forbid0 = Array.copy forbid;
     parent;
     x = Array.make (n * w) infeasible;
     choice = Array.make (n * w) (-1);
@@ -161,6 +164,25 @@ let pin t ~node ~ftype =
   (* Dirty the node and its ancestors; the dirty set is closed under
      parents, so an already-dirty node ends the climb. *)
   Obs.Counter.incr c_pins;
+  let v = ref node in
+  while !v >= 0 && not t.dirty.(!v) do
+    t.dirty.(!v) <- true;
+    Obs.Counter.incr c_dirty_walk;
+    v := t.parent.(!v)
+  done;
+  t.any_dirty <- true
+
+let refresh t ~node ~times ~costs =
+  if Array.length times <> t.k || Array.length costs <> t.k then
+    invalid_arg "Tree_kernel.refresh: row width mismatch";
+  let row = node * t.k in
+  Array.blit times 0 t.times row t.k;
+  Array.blit costs 0 t.costs row t.k;
+  (* Any earlier [pin] also collapsed the placement mask; restore the
+     node's pristine row so all types are selectable again. *)
+  if Array.length t.forbid > 0 then
+    Array.blit t.forbid0 row t.forbid row t.k;
+  Obs.Counter.incr c_refreshes;
   let v = ref node in
   while !v >= 0 && not t.dirty.(!v) do
     t.dirty.(!v) <- true;

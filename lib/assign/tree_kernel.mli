@@ -46,6 +46,15 @@ val solve : t -> (int array * int) option
     type's values, so every type choice becomes equivalent to [ftype]. *)
 val pin : t -> node:int -> ftype:int -> unit
 
+(** [refresh t ~node ~times ~costs] replaces [node]'s time/cost row with
+    fresh [k]-wide rows and restores its pristine placement mask, undoing
+    any earlier {!pin} of the node. Like [pin] it dirties only the node's
+    ancestor chain, so a re-solve after perturbing a few nodes' execution
+    times recomputes O(chains) DP rows instead of all n — the primitive
+    behind the online re-solve mode ([Online.Controller]). Raises
+    [Invalid_argument] on row width mismatch. *)
+val refresh : t -> node:int -> times:int array -> costs:int array -> unit
+
 (** [dp_row t ~node] is a fresh copy of X_node — entry [j] is the minimum
     subtree cost within path budget [j] ([max_int] = infeasible). *)
 val dp_row : t -> node:int -> int array

@@ -1,0 +1,63 @@
+let checker = "Check.Energy"
+
+let check ~base ~mapping table a ~expect_energy =
+  let b = Violation.builder () in
+  let k' = Fulib.Table.num_types table in
+  let kb = Fulib.Table.num_types base in
+  let n = Fulib.Table.num_nodes table in
+  if
+    Fulib.Dvfs.num_expanded mapping <> k'
+    || Fulib.Dvfs.num_base mapping <> kb
+    || Fulib.Table.num_nodes base <> n
+  then
+    Violation.add b "levels-shape"
+      "mapping covers %d expanded / %d base types, tables have %d / %d \
+       (nodes %d / %d)"
+      (Fulib.Dvfs.num_expanded mapping)
+      (Fulib.Dvfs.num_base mapping)
+      k' kb n (Fulib.Table.num_nodes base)
+  else begin
+    (* Every expanded cell re-derives from its base cell through the
+       level's scaling laws — the expansion holds no information of its
+       own, so a tampered leveled table cannot hide. *)
+    for v = 0 to n - 1 do
+      for e = 0 to k' - 1 do
+        let bt = mapping.Fulib.Dvfs.base.(e) in
+        let l = mapping.Fulib.Dvfs.levels.(bt).(mapping.Fulib.Dvfs.level.(e)) in
+        let want_t = Fulib.Dvfs.scale_time l (Fulib.Table.time base ~node:v ~ftype:bt) in
+        let want_c =
+          Fulib.Dvfs.scale_energy l (Fulib.Table.cost base ~node:v ~ftype:bt)
+        in
+        let got_t = Fulib.Table.time table ~node:v ~ftype:e in
+        let got_c = Fulib.Table.cost table ~node:v ~ftype:e in
+        if got_t <> want_t || got_c <> want_c then
+          Violation.add b ~node:v "level-table-mismatch"
+            "node %d expanded type %d (base %d at %d%%): table %d/%d, \
+             re-derived %d/%d"
+            v e bt l.Fulib.Dvfs.freq_pct got_t got_c want_t want_c
+        else Violation.fact b
+      done
+    done;
+    if Array.length a <> n then
+      Violation.add b "levels-shape" "assignment length %d, table has %d nodes"
+        (Array.length a) n
+    else begin
+      let energy = ref 0 in
+      Array.iteri
+        (fun v e ->
+          if e < 0 || e >= k' then
+            Violation.add b ~node:v "level-out-of-range"
+              "node %d assigned expanded type %d outside 0..%d" v e (k' - 1)
+          else begin
+            Violation.fact b;
+            energy := !energy + Fulib.Table.cost table ~node:v ~ftype:e
+          end)
+        a;
+      if !energy <> expect_energy then
+        Violation.add b "energy-mismatch"
+          "reported energy %d, re-derived sum of assigned costs %d"
+          expect_energy !energy
+      else Violation.fact b
+    end
+  end;
+  Violation.report b ~checker

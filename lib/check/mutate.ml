@@ -40,6 +40,29 @@ let swap_type table a =
       a'.(v) <- t;
       Some (Printf.sprintf "node %d type %d -> %d" v a.(v) t, a')
 
+let swap_level table ~mapping a =
+  let n = Array.length a in
+  let found = ref None in
+  for v = n - 1 downto 0 do
+    List.iter
+      (fun e ->
+        if
+          e <> a.(v)
+          && Fulib.Table.cost table ~node:v ~ftype:e
+             <> Fulib.Table.cost table ~node:v ~ftype:a.(v)
+        then found := Some (v, e))
+      (Fulib.Dvfs.siblings mapping a.(v))
+  done;
+  match !found with
+  | None -> None
+  | Some (v, e) ->
+      let a' = Array.copy a in
+      a'.(v) <- e;
+      Some
+        ( Printf.sprintf "node %d level %d -> %d (same base type %d)" v a.(v) e
+            mapping.Fulib.Dvfs.base.(e),
+          a' )
+
 let out_of_range_type table a =
   if Array.length a = 0 then None
   else begin

@@ -19,6 +19,17 @@ val bump_start :
 val swap_type :
   Fulib.Table.t -> Assign.Assignment.t -> (string * Assign.Assignment.t) option
 
+(** Silently swap one node to a sibling frequency level of its base type
+    (different cost, energy report left untouched) — caught by
+    [Check.Energy ~expect_energy] (["energy-mismatch"]). [None] when no
+    node has a differently-priced sibling level (e.g. single-level
+    ladders). [table] is the expanded table [a] refers to. *)
+val swap_level :
+  Fulib.Table.t ->
+  mapping:Fulib.Dvfs.mapping ->
+  Assign.Assignment.t ->
+  (string * Assign.Assignment.t) option
+
 (** Set one node's type to the library size — caught by [Check.Assignment]
     (["type-out-of-range"]). [None] on empty assignments. *)
 val out_of_range_type :

@@ -34,20 +34,45 @@ type request = {
   validate : bool;
   trace : bool;
   budget_ms : int option;
+  levels : Fulib.Dvfs.level array array option;
 }
 
 let request ?(scheduler = List_scheduling) ?(validate = false)
-    ?(trace = false) ?budget_ms ~algorithm ~deadline graph table =
-  { graph; table; deadline; algorithm; scheduler; validate; trace; budget_ms }
+    ?(trace = false) ?budget_ms ?levels ~algorithm ~deadline graph table =
+  {
+    graph;
+    table;
+    deadline;
+    algorithm;
+    scheduler;
+    validate;
+    trace;
+    budget_ms;
+    levels;
+  }
 
 type status = Ok | Infeasible | Infeasible_memory | Timeout | Error of string
+
+type dvfs = {
+  expanded : Fulib.Table.t;
+  mapping : Fulib.Dvfs.mapping;
+  energy_before : int;
+  energy_after : int;
+  reclaim_moves : int;
+}
 
 type response = {
   result : result option;
   status : status;
   violations : Check.Violation.t list;
   stats : (string * int) list;
+  dvfs : dvfs option;
 }
+
+(** The table a response's result refers to: the DVFS-expanded table on
+    leveled requests, the request's own table otherwise. *)
+let response_table req resp =
+  match resp.dvfs with Some d -> d.expanded | None -> req.table
 
 let min_deadline g table = Assign.Assignment.min_makespan g table
 
@@ -83,7 +108,7 @@ let exact_budget req =
 
 (* --- validation --------------------------------------------------------- *)
 
-let audit_reports g table ~deadline r =
+let audit_reports ?dvfs g table ~deadline r =
   let base =
     [
       Check.Assignment.check ~expect_cost:r.cost g table r.assignment ~deadline;
@@ -95,10 +120,26 @@ let audit_reports g table ~deadline r =
   (* The memory oracle only fires on memory-constrained instances, so
      unconstrained audits (every pre-existing golden run) keep the exact
      same checked-fact counts. *)
-  if Assign.Assignment.mem_constrained g table then
-    base
-    @ [ Check.Memory.check g table r.schedule (Sched.Binding.bind table r.schedule) ]
-  else base
+  let base =
+    if Assign.Assignment.mem_constrained g table then
+      base
+      @ [
+          Check.Memory.check g table r.schedule
+            (Sched.Binding.bind table r.schedule);
+        ]
+    else base
+  in
+  (* On leveled requests [table] is the expanded table and [r.cost] the
+     post-reclamation energy; the energy oracle re-derives both from the
+     base table and the level mapping. *)
+  match dvfs with
+  | None -> base
+  | Some (base_table, mapping) ->
+      base
+      @ [
+          Check.Energy.check ~base:base_table ~mapping table r.assignment
+            ~expect_energy:r.cost;
+        ]
 
 (* Independent audit of a finished synthesis result (HETSCHED_VALIDATE):
    Phase-1 path feasibility + recomputed cost, Phase-2 precedence /
@@ -109,24 +150,23 @@ let validate g table ~deadline r =
 
 (* --- the pipeline -------------------------------------------------------- *)
 
-let schedule_phase req assignment =
+let schedule_phase req table assignment =
   match
-    Sched.Asap_alap.frames req.graph req.table assignment
-      ~deadline:req.deadline
+    Sched.Asap_alap.frames req.graph table assignment ~deadline:req.deadline
   with
   | None -> None
   | Some frames -> (
       match req.scheduler with
       | List_scheduling ->
-          Sched.Min_resource.run ~frames req.graph req.table assignment
+          Sched.Min_resource.run ~frames req.graph table assignment
             ~deadline:req.deadline
       | Force_directed ->
-          Sched.Force_directed.run ~frames req.graph req.table assignment
+          Sched.Force_directed.run ~frames req.graph table assignment
             ~deadline:req.deadline)
 
 let base_stats req = [ ("nodes", Dfg.Graph.num_nodes req.graph) ]
 
-let result_stats req r =
+let result_stats ?dvfs req r =
   let base =
     [
       ("nodes", Dfg.Graph.num_nodes req.graph);
@@ -139,13 +179,27 @@ let result_stats req r =
   (* data-movement accounting, only meaningful (and only emitted) when the
      graph carries edge sizes — sizeless instances keep their exact
      pre-memory stats *)
-  if Dfg.Graph.has_data_sizes req.graph then
-    base
-    @ [
-        ( "transfer_cost",
-          Assign.Assignment.transfer_cost req.graph r.assignment );
-      ]
-  else base
+  let base =
+    if Dfg.Graph.has_data_sizes req.graph then
+      base
+      @ [
+          ( "transfer_cost",
+            Assign.Assignment.transfer_cost req.graph r.assignment );
+        ]
+    else base
+  in
+  (* energy accounting, only emitted on leveled (DVFS) requests — unleveled
+     responses keep their exact pre-DVFS stats *)
+  match dvfs with
+  | None -> base
+  | Some d ->
+      base
+      @ [
+          ("levels", Fulib.Dvfs.num_expanded d.mapping);
+          ("energy", d.energy_after);
+          ("energy_saved", d.energy_before - d.energy_after);
+          ("reclaim_moves", d.reclaim_moves);
+        ]
 
 (* Two phases under one span each, with the cooperative budget checked at
    every phase boundary (a started phase is never interrupted; [Some 0]
@@ -158,21 +212,32 @@ let solve_raw req =
     | None -> false
     | Some ms -> (Unix.gettimeofday () -. started) *. 1000.0 >= float_of_int ms
   in
-  let finish status ?result ?(violations = []) stats =
+  let finish status ?result ?(violations = []) ?dvfs stats =
     count_status status;
-    { result; status; violations; stats }
+    { result; status; violations; stats; dvfs }
   in
   Obs.Counter.incr c_requests;
   Obs.Span.with_
     (Printf.sprintf "synthesis.solve:%s" (algorithm_name req.algorithm))
     (fun () ->
+      (* Leveled requests solve over the DVFS-expanded table: a (type,
+         level) pair is just one more selectable type, so every algorithm
+         is level-aware for free. An invalid ladder raises out of here
+         into {!solve}'s Error boundary. *)
+      let expansion =
+        Option.map (fun levels -> Fulib.Dvfs.expand req.table ~levels)
+          req.levels
+      in
+      let table =
+        match expansion with None -> req.table | Some (t, _) -> t
+      in
       if over_budget () then finish Timeout (base_stats req)
       else
         let assignment =
           Obs.Span.with_ "phase.assign" (fun () ->
               match
                 Assign.Solve.run ?budget:(exact_budget req) req.algorithm
-                  req.graph req.table ~deadline:req.deadline
+                  req.graph table ~deadline:req.deadline
               with
               | v -> `Assigned v
               | exception Assign.Exact.Budget_exhausted -> `Budget_exhausted)
@@ -187,25 +252,83 @@ let solve_raw req =
             else
               match
                 Obs.Span.with_ "phase.schedule" (fun () ->
-                    schedule_phase req assignment)
+                    schedule_phase req table assignment)
               with
               | None -> finish Infeasible (base_stats req)
               | Some { Sched.Min_resource.schedule; config; lower_bound } ->
                   if over_budget () then finish Timeout (base_stats req)
                   else
-                    let r =
+                    let r0 =
                       {
                         algorithm = req.algorithm;
                         assignment;
-                        cost =
-                          Assign.Assignment.total_cost req.table assignment;
+                        cost = Assign.Assignment.total_cost table assignment;
                         makespan =
-                          Assign.Assignment.makespan req.graph req.table
+                          Assign.Assignment.makespan req.graph table
                             assignment;
                         schedule;
                         config;
                         lower_bound;
                       }
+                    in
+                    (* Phase 3 on leveled requests: reclaim static slack by
+                       stretching non-critical nodes to cheaper sibling
+                       levels (starts, config and deadline untouched). *)
+                    let r, dvfs =
+                      match expansion with
+                      | None -> (r0, None)
+                      | Some (etable, mapping)
+                        when Assign.Assignment.mem_constrained req.graph
+                               etable ->
+                          (* Re-leveling shifts aggregate data load between
+                             sibling types; keep memory-constrained leveled
+                             results untouched so Check.Memory's aggregate
+                             accounting stays exact. *)
+                          ( r0,
+                            Some
+                              {
+                                expanded = etable;
+                                mapping;
+                                energy_before = r0.cost;
+                                energy_after = r0.cost;
+                                reclaim_moves = 0;
+                              } )
+                      | Some (etable, mapping) ->
+                          let rc =
+                            Obs.Span.with_ "phase.reclaim" (fun () ->
+                                Sched.Reclaim.run req.graph etable ~mapping
+                                  ~config ~deadline:req.deadline schedule)
+                          in
+                          let a' =
+                            rc.Sched.Reclaim.schedule.Sched.Schedule.assignment
+                          in
+                          (* Re-leveling shifts occupancy between sibling
+                             types, so the per-expanded-type view of the
+                             (unchanged) physical allocation is re-derived
+                             from the re-leveled schedule. *)
+                          let config' =
+                            if rc.Sched.Reclaim.moves = 0 then r0.config
+                            else
+                              Sched.Schedule.peak_usage etable
+                                rc.Sched.Reclaim.schedule
+                          in
+                          ( {
+                              r0 with
+                              assignment = a';
+                              schedule = rc.Sched.Reclaim.schedule;
+                              config = config';
+                              cost = rc.Sched.Reclaim.energy_after;
+                              makespan =
+                                Assign.Assignment.makespan req.graph etable a';
+                            },
+                            Some
+                              {
+                                expanded = etable;
+                                mapping;
+                                energy_before = rc.Sched.Reclaim.energy_before;
+                                energy_after = rc.Sched.Reclaim.energy_after;
+                                reclaim_moves = rc.Sched.Reclaim.moves;
+                              } )
                     in
                     (* The validate span is always present so traces show
                        the phase ran, even when nothing asks for an
@@ -214,12 +337,17 @@ let solve_raw req =
                       Obs.Span.with_ "phase.validate" (fun () ->
                           if req.validate || Check.Env.enabled () then
                             Some
-                              (audit_reports req.graph req.table
-                                 ~deadline:req.deadline r)
+                              (audit_reports
+                                 ?dvfs:
+                                   (Option.map
+                                      (fun d -> (req.table, d.mapping))
+                                      dvfs)
+                                 req.graph table ~deadline:req.deadline r)
                           else None)
                     in
                     (match audit with
-                    | None -> finish Ok ~result:r (result_stats req r)
+                    | None ->
+                        finish Ok ~result:r ?dvfs (result_stats ?dvfs req r)
                     | Some reports ->
                         let violations =
                           List.concat_map
@@ -232,13 +360,14 @@ let solve_raw req =
                             0 reports
                         in
                         let stats =
-                          result_stats req r
+                          result_stats ?dvfs req r
                           @ [
                               ("checked", checked);
                               ("violations", List.length violations);
                             ]
                         in
-                        if violations = [] then finish Ok ~result:r stats
+                        if violations = [] then
+                          finish Ok ~result:r ?dvfs stats
                         else
                           finish
                             (Error
@@ -247,7 +376,7 @@ let solve_raw req =
                                    first %s"
                                   (List.length violations)
                                   (List.hd violations).Check.Violation.code))
-                            ~result:r ~violations stats)))
+                            ~result:r ~violations ?dvfs stats)))
 
 let with_trace req f =
   if not req.trace then f ()
@@ -267,6 +396,7 @@ let solve req =
       status = Error (Printexc.to_string e);
       violations = [];
       stats = base_stats req;
+      dvfs = None;
     }
 
 (* --- periodic requests --------------------------------------------------- *)
@@ -293,7 +423,8 @@ let periodic_of_response ?heavy_threshold p resp =
   | Ok, Some r -> (
       match
         Rt.Task.make ~period:p.period ~deadline:p.request.deadline
-          p.request.graph p.request.table
+          p.request.graph
+          (response_table p.request resp)
       with
       | task ->
           Rt.Task.of_schedule ?heavy_threshold task ~schedule:r.schedule

@@ -64,16 +64,23 @@ type request = {
           search-node budget for {!Exact}; an exhausted budget yields
           status {!Timeout}. [Some 0] times out deterministically before
           Phase 1 starts. *)
+  levels : Fulib.Dvfs.level array array option;
+      (** per-base-type DVFS frequency ladders. When present, the pipeline
+          solves over the {!Fulib.Dvfs.expand}ed table (every (type,
+          level) pair is a selectable implementation), reclaims static
+          slack after Phase 2 ({!Sched.Reclaim}), reports energy stats,
+          and carries the expanded table in the response's [dvfs] field. *)
 }
 
-(** [request ?scheduler ?validate ?trace ?budget_ms ~algorithm ~deadline
-    graph table] — defaults: {!List_scheduling}, no validation, no
-    tracing, no budget. *)
+(** [request ?scheduler ?validate ?trace ?budget_ms ?levels ~algorithm
+    ~deadline graph table] — defaults: {!List_scheduling}, no validation,
+    no tracing, no budget, no DVFS levels. *)
 val request :
   ?scheduler:scheduler ->
   ?validate:bool ->
   ?trace:bool ->
   ?budget_ms:int ->
+  ?levels:Fulib.Dvfs.level array array ->
   algorithm:algorithm ->
   deadline:int ->
   Dfg.Graph.t ->
@@ -93,6 +100,17 @@ type status =
           [result] still carries the corrupt artifact and [violations]
           the audit trail) *)
 
+(** DVFS accounting of a leveled response. The result's assignment,
+    schedule, cost and config all refer to [expanded], not to the
+    request's base table. *)
+type dvfs = {
+  expanded : Fulib.Table.t;
+  mapping : Fulib.Dvfs.mapping;
+  energy_before : int;  (** energy of the Phase-1/2 design, pre-reclaim *)
+  energy_after : int;  (** energy after slack reclamation (= result cost) *)
+  reclaim_moves : int;
+}
+
 type response = {
   result : result option;  (** [Some] iff status is [Ok] or a validation
                                [Error]; [None] otherwise *)
@@ -101,10 +119,19 @@ type response = {
       (** audit findings, empty unless validation ran and failed *)
   stats : (string * int) list;
       (** deterministic per-request facts — nodes, cost, makespan,
-          config/lower-bound totals, validated fact count. Never
-          wall-clock values: a cached response must be byte-identical to
-          a fresh solve (timings live in [Obs] spans instead). *)
+          config/lower-bound totals, validated fact count; plus
+          energy/energy_saved/reclaim_moves/levels on leveled requests.
+          Never wall-clock values: a cached response must be
+          byte-identical to a fresh solve (timings live in [Obs] spans
+          instead). *)
+  dvfs : dvfs option;  (** present exactly on leveled requests that
+                           produced a result *)
 }
+
+(** The table a response's result refers to: [dvfs.expanded] on leveled
+    responses, the request's own table otherwise. Use it whenever a
+    result is re-evaluated or pretty-printed. *)
+val response_table : request -> response -> Fulib.Table.t
 
 (** Run both phases for one request. Never raises: solver exceptions
     become status [Error], an exhausted budget becomes [Timeout], an

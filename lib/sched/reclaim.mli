@@ -1,0 +1,49 @@
+(** Static slack reclamation over a finished schedule (DVFS phase 3).
+
+    List scheduling packs every node as early as its producers allow, so a
+    finished schedule's slack (deadline minus schedule length) all pools
+    at the tail, where no single node can use it. Reclamation re-times the
+    schedule ALAP — sweeping nodes in reverse topological order, pushing
+    each as late as its zero-delay successors allow — and re-levels each
+    node to the cheapest sibling frequency level of the same base FU type
+    (per the {!Fulib.Dvfs.mapping}) that fits the opened window:
+    a node [v] moves to sibling [e] at start [at] only when
+
+    - [e] is strictly cheaper for [v],
+    - [at >= start v], and [at + time v e] stays within the deadline and
+      within every zero-delay successor's (re-timed) start, and
+    - the BASE type's pooled per-step usage stays within the base type's
+      pooled capacity (the [config] total over [e]'s siblings) across the
+      stretched occupancy — sibling levels are the same physical FU
+      clocked lower, so they time-share one pool of instances.
+
+    Starts only ever move later and never past a successor's start, so
+    precedence and the deadline are preserved by construction; the caller
+    should recompute the per-expanded-type configuration from the
+    re-leveled schedule ({!Schedule.peak_usage}) before re-auditing with
+    [Check.Config]. Deterministic: sweeps commit the cheapest feasible
+    sibling at its latest free start (ties keep the current level), until
+    a sweep changes nothing. Terminates because every commit strictly
+    lowers total energy or strictly delays a start. *)
+
+type result = {
+  schedule : Schedule.t;  (** same starts, re-leveled assignment *)
+  energy_before : int;
+  energy_after : int;
+  moves : int;  (** level moves committed across all passes *)
+}
+
+(** [run g table ~mapping ~config ~deadline s] — [table] is the expanded
+    (leveled) table [s.assignment] refers to. When [s] does not meet the
+    deadline under [table] the schedule is returned unchanged. [pipelined]
+    marks initiation-interval-1 types (occupancy = issue step only), as in
+    {!Schedule.peak_usage}. *)
+val run :
+  ?pipelined:(int -> bool) ->
+  Dfg.Graph.t ->
+  Fulib.Table.t ->
+  mapping:Fulib.Dvfs.mapping ->
+  config:Config.t ->
+  deadline:int ->
+  Schedule.t ->
+  result

@@ -175,6 +175,26 @@ let digest (req : Core.Synthesis.request) =
   (match req.Core.Synthesis.budget_ms with
   | None -> ch '-'
   | Some ms -> int ms);
+  (* DVFS ladders change the solved table, so a leveled request must never
+     collide with its unleveled twin (or with different ladders) *)
+  Buffer.add_string buf ";L";
+  (match req.Core.Synthesis.levels with
+  | None -> ch '-'
+  | Some levels ->
+      Array.iter
+        (fun ladder ->
+          ch 't';
+          Array.iter
+            (fun (l : Fulib.Dvfs.level) ->
+              ch 'l';
+              int l.Fulib.Dvfs.freq_pct;
+              ch ',';
+              int l.Fulib.Dvfs.time_pct;
+              ch ',';
+              int l.Fulib.Dvfs.energy_pct;
+              ch ';')
+            ladder)
+        levels);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 (* Shard selection: the digest's first two hex characters, i.e. its top

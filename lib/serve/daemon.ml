@@ -32,14 +32,72 @@ let now_ns () = Unix.gettimeofday () *. 1e9
 
 type read_result = Line of string | Would_block | Eof | Idle
 
+(* Bytes accumulate in a growable window [start, start + len) of [buf];
+   [scanned] bytes at the head of the window are known newline-free, so a
+   long line fragmented over many chunks is scanned once per byte, not
+   once per chunk — appending, scanning and consuming are all amortized
+   O(bytes), where the old string accumulator ([acc <- acc ^ chunk] plus
+   a from-zero [String.index_opt] per chunk) was quadratic. *)
 type reader = {
   fd : Unix.file_descr;
-  mutable acc : string; (* bytes read but not yet returned *)
+  mutable buf : Bytes.t;
+  mutable start : int;
+  mutable len : int;
+  mutable scanned : int;  (* head bytes of the window already scanned *)
   mutable at_eof : bool;
   chunk : Bytes.t;
 }
 
-let reader fd = { fd; acc = ""; at_eof = false; chunk = Bytes.create 4096 }
+let reader fd =
+  {
+    fd;
+    buf = Bytes.create 4096;
+    start = 0;
+    len = 0;
+    scanned = 0;
+    at_eof = false;
+    chunk = Bytes.create 4096;
+  }
+
+(* Make room for [n] more bytes: compact to offset 0 when the tail is
+   full, doubling the buffer only when the data itself outgrows it. *)
+let append r src n =
+  if r.start + r.len + n > Bytes.length r.buf then begin
+    if r.len + n > Bytes.length r.buf then begin
+      let cap = ref (Bytes.length r.buf) in
+      while r.len + n > !cap do
+        cap := !cap * 2
+      done;
+      let grown = Bytes.create !cap in
+      Bytes.blit r.buf r.start grown 0 r.len;
+      r.buf <- grown
+    end
+    else Bytes.blit r.buf r.start r.buf 0 r.len;
+    r.start <- 0
+  end;
+  Bytes.blit src 0 r.buf (r.start + r.len) n;
+  r.len <- r.len + n
+
+(* Next newline in the unscanned tail of the window, as an offset from
+   [start]; remembers how far it looked on a miss. *)
+let find_newline r =
+  let i = ref (r.start + r.scanned) in
+  let stop = r.start + r.len in
+  while !i < stop && Bytes.get r.buf !i <> '\n' do
+    incr i
+  done;
+  if !i < stop then Some (!i - r.start)
+  else begin
+    r.scanned <- r.len;
+    None
+  end
+
+let take_buffered r i =
+  let line = Bytes.sub_string r.buf r.start i in
+  r.start <- r.start + i + 1;
+  r.len <- r.len - i - 1;
+  r.scanned <- 0;
+  line
 
 let rec readable_now fd =
   match Unix.select [ fd ] [] [] 0.0 with
@@ -50,19 +108,40 @@ let rec readable_now fd =
 let rec read_chunk r =
   match Unix.read r.fd r.chunk 0 (Bytes.length r.chunk) with
   | 0 -> r.at_eof <- true
-  | n -> r.acc <- r.acc ^ Bytes.sub_string r.chunk 0 n
+  | n -> append r r.chunk n
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_chunk r
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
       r.at_eof <- true
 
-(* A blocking wait bounded by [timeout] seconds (negative = forever); an
-   EINTR restarts the full wait, so a signal storm can overshoot — fine
-   for an idle-session reaper. *)
-let rec wait_readable fd ~timeout =
-  match Unix.select [ fd ] [] [] timeout with
-  | [ _ ], _, _ -> true
-  | _ -> false
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable fd ~timeout
+(* A blocking wait bounded by [timeout] seconds (negative = forever). The
+   remaining wait is recomputed from a clock deadline on every EINTR —
+   restarting the full timeout instead would let a signal storm with a
+   sub-timeout interval keep an idle session alive indefinitely. (Unix
+   does not expose the monotonic clock; the wall clock is the closest
+   available approximation, and a clock step only shifts one wait.) *)
+let wait_readable fd ~timeout =
+  if timeout < 0.0 then
+    let rec forever () =
+      match Unix.select [ fd ] [] [] (-1.0) with
+      | [ _ ], _, _ -> true
+      | _ -> false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> forever ()
+    in
+    forever ()
+  else begin
+    let deadline = Unix.gettimeofday () +. timeout in
+    let rec wait remaining =
+      (* a final zero-timeout probe so data racing the deadline wins *)
+      if remaining <= 0.0 then readable_now fd
+      else
+        match Unix.select [ fd ] [] [] remaining with
+        | [ _ ], _, _ -> true
+        | _ -> false
+        | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+            wait (deadline -. Unix.gettimeofday ())
+    in
+    wait timeout
+  end
 
 (* [take_line r ~block ~idle_timeout]: the next full line if one is
    buffered or can be obtained without waiting; [Would_block] when
@@ -71,17 +150,16 @@ let rec wait_readable fd ~timeout =
    once the peer is done (a final unterminated line is still delivered
    first). *)
 let rec take_line r ~block ~idle_timeout =
-  match String.index_opt r.acc '\n' with
-  | Some i ->
-      let line = String.sub r.acc 0 i in
-      r.acc <- String.sub r.acc (i + 1) (String.length r.acc - i - 1);
-      Line line
+  match find_newline r with
+  | Some i -> Line (take_buffered r i)
   | None ->
       if r.at_eof then
-        if r.acc = "" then Eof
+        if r.len = 0 then Eof
         else begin
-          let line = r.acc in
-          r.acc <- "";
+          let line = Bytes.sub_string r.buf r.start r.len in
+          r.start <- 0;
+          r.len <- 0;
+          r.scanned <- 0;
           Line line
         end
       else if block then

@@ -195,6 +195,48 @@ let parse_period json =
           Error (Printf.sprintf "period must be >= 1 (got %d)" period)
       | None -> Error "period must be an integer")
 
+(* DVFS knob: ["levels": n] gives every FU type the same n-step uniform
+   ladder (100% down to 50%); ["levels": [[100,75],[100,50,25], ...]]
+   names per-type frequency percents, one ladder per type, each starting
+   at the nominal 100. *)
+let parse_levels json table =
+  match field "levels" json with
+  | None -> Ok None
+  | Some (J.Int n) ->
+      if n >= 1 && n <= 16 then
+        Ok
+          (Some
+             (Fulib.Dvfs.uniform ~levels:n
+                ~types:(Fulib.Table.num_types table)))
+      else Error (Printf.sprintf "levels must be in 1..16 (got %d)" n)
+  | Some (J.List ladders) ->
+      let k = Fulib.Table.num_types table in
+      if List.length ladders <> k then
+        Error
+          (Printf.sprintf
+             "levels must give one frequency ladder per FU type (%d)" k)
+      else begin
+        let parsed =
+          List.map
+            (fun l ->
+              match Option.map (List.map J.to_int_opt) (J.to_list_opt l) with
+              | Some cells when cells <> [] && List.for_all Option.is_some cells
+                ->
+                  Some (List.filter_map Fun.id cells)
+              | _ -> None)
+            ladders
+        in
+        if List.exists Option.is_none parsed then
+          Error
+            "levels ladders must be non-empty lists of frequency percents"
+        else
+          match Fulib.Dvfs.of_freqs (List.filter_map Fun.id parsed) with
+          | lv -> Ok (Some lv)
+          | exception Invalid_argument msg -> Error ("levels: " ^ msg)
+      end
+  | Some _ ->
+      Error "levels must be an integer or a list of per-type frequency lists"
+
 let request_of_json ?lookup ~line json =
   let id =
     match field "id" json with
@@ -221,6 +263,7 @@ let request_of_json ?lookup ~line json =
       | Some "force" -> Ok Core.Synthesis.Force_directed
       | Some s -> err (Printf.sprintf "unknown scheduler %S" s)
     in
+    let* levels = lift (parse_levels json table) in
     let validate = Option.value (bool_field "validate" json) ~default:false in
     let trace = Option.value (bool_field "trace" json) ~default:false in
     let budget_ms = int_field "budget_ms" json in
@@ -229,7 +272,7 @@ let request_of_json ?lookup ~line json =
         id;
         request =
           Core.Synthesis.request ~scheduler ~validate ~trace ?budget_ms
-            ~algorithm ~deadline g table;
+            ?levels ~algorithm ~deadline g table;
       }
   in
   match result with

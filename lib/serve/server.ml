@@ -50,6 +50,7 @@ let guarded_solve t req =
       status = Core.Synthesis.Error (Printexc.to_string e);
       violations = [];
       stats = [];
+      dvfs = None;
     }
 
 let drain t =

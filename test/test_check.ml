@@ -198,6 +198,72 @@ let mutations_on_random_dfgs =
           mutate "random" g tbl ~deadline r;
           true)
 
+(* --- Check.Energy: leveled solves and the swap_level mutant --------------- *)
+
+(* A silently swapped frequency level keeps the base FU type (so the
+   structural checkers stay green) while changing the true energy; only
+   the energy oracle's independent re-summation can flag it. *)
+let leveled name g tbl =
+  let etbl, mapping =
+    Fulib.Dvfs.expand tbl
+      ~levels:
+        (Fulib.Dvfs.uniform ~levels:3 ~types:(Fulib.Table.num_types tbl))
+  in
+  let deadline = mid_deadline g tbl in
+  (etbl, mapping, synthesize name g etbl ~deadline)
+
+let test_swap_level_mutations () =
+  List.iter
+    (fun (name, g, tbl) ->
+      let etbl, mapping, r = leveled name g tbl in
+      check_ok (name ^ " energy")
+        (Check.Energy.check ~base:tbl ~mapping etbl r.Core.Synthesis.assignment
+           ~expect_energy:r.Core.Synthesis.cost);
+      match Check.Mutate.swap_level etbl ~mapping r.Core.Synthesis.assignment with
+      | None -> Alcotest.failf "%s: no swap_level site" name
+      | Some (what, a) ->
+          check_caught
+            (Printf.sprintf "%s swap_level (%s)" name what)
+            ~code:"energy-mismatch"
+            (Check.Energy.check ~base:tbl ~mapping etbl a
+               ~expect_energy:r.Core.Synthesis.cost))
+    (bench_instances ())
+
+let swap_level_on_random_dfgs =
+  QCheck.Test.make ~count:30 ~name:"swap_level caught on random leveled DFGs"
+    QCheck.(triple (int_range 0 1000) (int_range 4 24) (int_range 0 10))
+    (fun (seed, n, extra) ->
+      let rng = Workloads.Prng.create seed in
+      let g = Workloads.Random_dfg.random_dag rng ~n ~extra_edges:extra in
+      let tbl = Workloads.Tables.for_graph rng ~library:lib3 g in
+      let etbl, mapping =
+        Fulib.Dvfs.expand tbl
+          ~levels:
+            (Fulib.Dvfs.uniform ~levels:3 ~types:(Fulib.Table.num_types tbl))
+      in
+      let tmin = Core.Synthesis.min_deadline g etbl in
+      let deadline = tmin + (tmin / 3) in
+      match
+        (Core.Synthesis.solve
+           (Core.Synthesis.request ~algorithm:Core.Synthesis.Repeat ~deadline
+              g etbl))
+          .Core.Synthesis.result
+      with
+      | None -> QCheck.assume_fail ()
+      | Some r ->
+          check_ok "random energy"
+            (Check.Energy.check ~base:tbl ~mapping etbl r.assignment
+               ~expect_energy:r.cost);
+          (match Check.Mutate.swap_level etbl ~mapping r.assignment with
+          | None -> ()  (* every sibling ladder is cost-flat: nothing to swap *)
+          | Some (what, a) ->
+              check_caught
+                (Printf.sprintf "random swap_level (%s)" what)
+                ~code:"energy-mismatch"
+                (Check.Energy.check ~base:tbl ~mapping etbl a
+                   ~expect_energy:r.cost));
+          true)
+
 (* --- Check.Memory: clean results, differential, mutation ------------------ *)
 
 (* Each paper benchmark gets data sizes and a loose (never-pruning) finite
@@ -345,6 +411,9 @@ let () =
         [
           quick "all classes caught on benchmarks" test_mutations_on_benchmarks;
           QCheck_alcotest.to_alcotest mutations_on_random_dfgs;
+          quick "swap_level caught on leveled benchmarks"
+            test_swap_level_mutations;
+          QCheck_alcotest.to_alcotest swap_level_on_random_dfgs;
           quick "memory oracle: clean, differential, mutants"
             test_memory_oracle;
         ] );

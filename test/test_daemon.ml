@@ -172,6 +172,46 @@ let test_malformed_and_blank_lines () =
     (counter "serve.daemon.malformed");
   ignore (finish h)
 
+(* --- long lines through the windowed reader ------------------------------- *)
+
+(* Reader regression: one request line over a megabyte long, delivered
+   in 4 KiB fragments, so the reader sees hundreds of newline-free
+   chunks. The old accumulator re-copied and re-scanned the whole
+   prefix on every chunk (quadratic in the line length); the windowed
+   reader must stay linear and still hand the parser the line intact.
+   A long garbage line afterwards proves the window resets cleanly
+   after a big take. *)
+let test_long_line_roundtrip () =
+  let h = start () in
+  let pad = String.make (1 lsl 20) 'x' in
+  let line =
+    Printf.sprintf
+      {|{"id": "big", "benchmark": "rand", "seed": 7, "deadline_factor": 1.5, "pad": %S}|}
+      pad
+  in
+  let chunk = 4096 in
+  let len = String.length line in
+  let rec push off =
+    if off < len then begin
+      ignore (Unix.write_substring h.to_daemon line off (min chunk (len - off)));
+      push (off + chunk)
+    end
+  in
+  push 0;
+  send h "\n";
+  let reply = List.hd (recv_lines h 1) in
+  Alcotest.(check string) "giant request parsed and solved" "ok"
+    (status_of reply);
+  Alcotest.(check string) "id survives the fragmentation" "big" (id_of reply);
+  send h (String.make 100_000 'z' ^ "\n");
+  Alcotest.(check string) "long garbage after a big take is flagged" "error"
+    (status_of (List.hd (recv_lines h 1)));
+  send h (request_line ~id:"after" ~seed:8 ^ "\n");
+  Alcotest.(check string) "normal traffic resumes" "ok"
+    (status_of (List.hd (recv_lines h 1)));
+  let n = finish h in
+  Alcotest.(check int) "three replies" 3 n
+
 (* --- per-connection admission control ------------------------------------ *)
 
 (* Deterministic inline instance: a two-node chain, 4 steps per node on
@@ -267,6 +307,45 @@ let test_idle_timeout_reaps_silent_client () =
   Unix.close h.to_daemon;
   close_in h.from_daemon
 
+(* The EINTR regression: an interval timer fires SIGALRM every 10 ms,
+   far below the 250 ms idle timeout. The old wait restarted the FULL
+   timeout after every EINTR, so under such a storm the select was
+   interrupted before it could ever expire and the session lived
+   forever; the clock-deadline recompute keeps the total wait bounded.
+   Runs serve_fd on the test's own thread so the signals land on its
+   select. *)
+let test_idle_timeout_survives_signal_storm () =
+  let idle0 = counter "serve.daemon.idle_closed" in
+  let in_r, in_w = Unix.pipe () and out_r, out_w = Unix.pipe () in
+  let server =
+    Serve.Server.create ~cache:(Serve.Cache.create ~entries:4 ()) ()
+  in
+  let d = Serve.Daemon.create ~lookup server in
+  let old_handler = Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> ())) in
+  ignore
+    (Unix.setitimer Unix.ITIMER_REAL
+       { Unix.it_interval = 0.01; it_value = 0.01 });
+  let finally () =
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_interval = 0.0; it_value = 0.0 });
+    Sys.set_signal Sys.sigalrm old_handler;
+    List.iter Unix.close [ in_r; in_w; out_r; out_w ]
+  in
+  Fun.protect ~finally (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let n =
+        Serve.Daemon.serve_fd ~idle_timeout:0.25 d ~input:in_r ~output:out_w
+      in
+      let waited = Unix.gettimeofday () -. t0 in
+      Alcotest.(check int) "no responses from a silent client" 0 n;
+      Alcotest.(check bool)
+        (Printf.sprintf "reap bounded under the storm (waited %.3fs)" waited)
+        true
+        (waited >= 0.2 && waited < 5.0);
+      Alcotest.(check int) "idle_closed counter" (idle0 + 1)
+        (counter "serve.daemon.idle_closed"))
+
 let test_idle_timeout_validated () =
   let server = Serve.Server.create ~cache:(Serve.Cache.create ~entries:4 ()) () in
   let d = Serve.Daemon.create ~lookup server in
@@ -342,6 +421,8 @@ let () =
             test_streaming_two_bursts;
           Alcotest.test_case "malformed and blank lines" `Quick
             test_malformed_and_blank_lines;
+          Alcotest.test_case "megabyte line in 4 KiB fragments" `Quick
+            test_long_line_roundtrip;
         ] );
       ( "backpressure",
         [
@@ -359,6 +440,8 @@ let () =
         [
           Alcotest.test_case "silent client reaped" `Quick
             test_idle_timeout_reaps_silent_client;
+          Alcotest.test_case "reap survives a SIGALRM storm" `Quick
+            test_idle_timeout_survives_signal_storm;
           Alcotest.test_case "bad timeouts rejected" `Quick
             test_idle_timeout_validated;
         ] );
