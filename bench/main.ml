@@ -144,17 +144,18 @@ let extension_tests =
         (Staged.stage (fun () -> Assign.Beam.solve g tbl ~deadline));
       Test.make ~name:"verilog-emit"
         (Staged.stage
-           (let dp =
+           (let req =
               lazy
                 (match Assign.Dfg_assign.repeat g tbl ~deadline with
                 | Some a -> (
                     match Sched.Min_resource.run g tbl a ~deadline with
                     | Some { Sched.Min_resource.schedule; _ } ->
-                        Rtl.Datapath.build g tbl schedule
+                        Rtl.Backend.request ~style:Rtl.Backend.Behavioral
+                          ~testbench_iterations:0 g tbl schedule
                     | None -> failwith "bench: scheduling failed")
                 | None -> failwith "bench: assignment failed")
             in
-            fun () -> Rtl.Verilog.emit g tbl (Lazy.force dp)));
+            fun () -> Rtl.Backend.lower (Lazy.force req)));
     ]
 
 (* --- Scaling: algorithm run time vs graph size ----------------------- *)
@@ -512,6 +513,45 @@ let rt_tests =
           Staged.stage (fun () -> Rt.Sim.run (Lazy.force adm)));
     ]
 
+(* --- Structural RTL: lowering and co-simulation throughput ------------ *)
+
+(* Schedules are solved once outside the staged thunks; the rows price the
+   backend itself — netlist lowering, SystemVerilog emission, and the
+   cycle-accurate co-simulation — as the DAG size scales. *)
+let rtl_tests =
+  let lowered n =
+    lazy
+      (let g, tbl, deadline = scaling_dag_instance n in
+       match Assign.Dfg_assign.repeat g tbl ~deadline with
+       | None -> failwith "bench: assignment failed"
+       | Some a -> (
+           match Sched.Min_resource.run g tbl a ~deadline with
+           | None -> failwith "bench: scheduling failed"
+           | Some { Sched.Min_resource.schedule; _ } ->
+               (g, tbl, schedule, Rtl.Netlist_ir.build g tbl schedule)))
+  in
+  let sized = [ 20; 40; 80 ] in
+  let pool = List.map (fun n -> (n, lowered n)) sized in
+  Test.make_grouped ~name:"rtl"
+    [
+      Test.make_indexed ~name:"lower-structural" ~args:sized (fun n ->
+          let inst = List.assoc n pool in
+          Staged.stage (fun () ->
+              let g, tbl, s, _ = Lazy.force inst in
+              Rtl.Netlist_ir.build g tbl s));
+      Test.make_indexed ~name:"emit-sv" ~args:sized (fun n ->
+          let inst = List.assoc n pool in
+          Staged.stage (fun () ->
+              let _, _, _, nl = Lazy.force inst in
+              Rtl.Sv.emit_module nl));
+      Test.make_indexed ~name:"cosim-4" ~args:sized (fun n ->
+          let inst = List.assoc n pool in
+          Staged.stage (fun () ->
+              let _, _, _, nl = Lazy.force inst in
+              Rtl.Sim.run nl ~iterations:4
+                ~input:Rtl.Backend.default_stimulus));
+    ]
+
 (* --- Observability overhead: the disabled-mode no-op contract --------- *)
 
 (* The obs layer claims near-zero cost when tracing is off: a span is one
@@ -645,6 +685,7 @@ let all_groups =
     ("mem", mem_tests);
     ("dvfs", dvfs_tests);
     ("rt", rt_tests);
+    ("rtl", rtl_tests);
     ("obs", obs_tests);
   ]
 

@@ -306,6 +306,95 @@ let compile_cmd =
        ~doc:"Full flow: synthesis + schedule + binding + Verilog into an output directory")
     Term.(const run $ benchmark_opt_arg $ seed_arg $ algo_arg $ deadline_arg $ file_arg $ outdir_arg)
 
+(* Structural RTL: lower the solved schedule to shared-FU SystemVerilog
+   through the Rtl.Backend facade, co-simulate the netlist against the
+   functional model, and write the module + self-checking testbench. The
+   differential is the CI contract: any mismatch is exit 1, which the
+   rtl-smoke job greps for. *)
+let rtl_cmd =
+  let outdir_arg =
+    let doc = "Output directory for the .sv module and testbench." in
+    Arg.(value & opt string "hetsched_rtl" & info [ "output"; "o" ] ~doc)
+  in
+  let width_arg =
+    let doc = "Datapath bit width." in
+    Arg.(value & opt int 16 & info [ "width" ] ~docv:"W" ~doc)
+  in
+  let iterations_arg =
+    let doc = "Co-simulation / testbench iterations." in
+    Arg.(value & opt int 4 & info [ "iterations" ] ~docv:"N" ~doc)
+  in
+  let run name seed algo deadline file outdir width iterations =
+    let g, table = instance ~name ~file ~seed in
+    let deadline =
+      match deadline with
+      | Some t -> t
+      | None ->
+          int_of_float
+            (ceil (1.2 *. float_of_int (Core.Synthesis.min_deadline g table)))
+    in
+    if width < 1 then begin
+      Printf.eprintf "hetsched: --width must be >= 1 (got %d)\n" width;
+      exit 2
+    end;
+    if iterations < 1 then begin
+      Printf.eprintf "hetsched: --iterations must be >= 1 (got %d)\n" iterations;
+      exit 2
+    end;
+    let label = match file with Some p -> p | None -> name in
+    match
+      (Core.Synthesis.solve
+         (Core.Synthesis.request ~algorithm:algo ~deadline g table))
+        .Core.Synthesis.result
+    with
+    | None -> print_endline "infeasible: no assignment meets the deadline"; exit 1
+    | Some r ->
+        let module_name = Rtl.Verilog.sanitize ("hetsched_" ^ Filename.basename label) in
+        let resp =
+          Rtl.Backend.lower
+            (Rtl.Backend.request ~style:Rtl.Backend.Structural ~width
+               ~module_name ~testbench_iterations:iterations g table
+               r.Core.Synthesis.schedule)
+        in
+        Printf.printf "%s at T = %d: period %d, config %s\n" label deadline
+          resp.Rtl.Backend.period
+          (Sched.Config.to_string resp.Rtl.Backend.config);
+        Format.printf "%a@." Rtl.Backend.pp_stats resp.Rtl.Backend.stats;
+        List.iter
+          (fun u ->
+            Printf.printf "warning: unsupported op %S on node %d (xor placeholder)\n"
+              u.Rtl.Backend.op u.Rtl.Backend.node)
+          resp.Rtl.Backend.unsupported;
+        (if not (Sys.file_exists outdir) then Sys.mkdir outdir 0o755);
+        let write fname text =
+          let path = Filename.concat outdir fname in
+          Out_channel.with_open_text path (fun oc -> output_string oc text);
+          Printf.printf "  %s\n" path
+        in
+        write (module_name ^ ".sv") resp.Rtl.Backend.module_text;
+        (match resp.Rtl.Backend.testbench_text with
+        | Some tb -> write (module_name ^ "_tb.sv") tb
+        | None -> ());
+        let nl = Option.get resp.Rtl.Backend.netlist in
+        (match
+           Rtl.Sim.differential nl g ~iterations
+             ~input:Rtl.Backend.default_stimulus
+         with
+        | Ok () ->
+            Printf.printf "co-simulation ok: %d iteration(s) match the functional model\n"
+              iterations
+        | Error detail ->
+            Printf.eprintf "co-simulation MISMATCH: %s\n" detail;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "rtl"
+       ~doc:"Lower the solved schedule to structural shared-FU SystemVerilog \
+             (FU instances, operand muxes, left-edge register file) and \
+             co-simulate it against the functional model")
+    Term.(const run $ benchmark_opt_arg $ seed_arg $ algo_arg $ deadline_arg
+          $ file_arg $ outdir_arg $ width_arg $ iterations_arg)
+
 let analyze_cmd =
   let run name seed algo deadline file =
     let g, table = instance ~name ~file ~seed in
@@ -664,4 +753,4 @@ let () =
     Cmd.info "hetsched"
       ~doc:"Heterogeneous FU assignment and scheduling for real-time DSP"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; dot_cmd; synth_cmd; frontier_cmd; netlist_cmd; csv_cmd; compile_cmd; gantt_cmd; analyze_cmd; serve_cmd; daemon_cmd; client_cmd; admit_cmd; dvfs_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; show_cmd; dot_cmd; synth_cmd; frontier_cmd; netlist_cmd; csv_cmd; compile_cmd; rtl_cmd; gantt_cmd; analyze_cmd; serve_cmd; daemon_cmd; client_cmd; admit_cmd; dvfs_cmd ]))

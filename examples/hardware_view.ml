@@ -23,11 +23,17 @@ let () =
       print_endline "Gantt (rows = FU instances, columns = control steps):";
       print_string (Sched.Gantt.render ~graph ~table r.Core.Synthesis.schedule);
       let registers = Sched.Registers.max_live graph table r.Core.Synthesis.schedule in
-      let dp = Rtl.Datapath.build graph table r.Core.Synthesis.schedule in
-      let ic = Rtl.Datapath.interconnect dp in
+      let lowered =
+        Rtl.Backend.lower
+          (Rtl.Backend.request ~testbench_iterations:0 graph table
+             r.Core.Synthesis.schedule)
+      in
+      let st = lowered.Rtl.Backend.stats in
       Printf.printf
         "\nregisters: %d (left-edge shared)   interconnect: %d muxes, %d inputs\n"
-        registers ic.Rtl.Datapath.mux_count ic.Rtl.Datapath.mux_inputs;
+        registers st.Rtl.Netlist_ir.mux_count st.Rtl.Netlist_ir.mux_inputs;
+      Printf.printf "structural RTL: %d FU instances, %d data nets\n"
+        st.Rtl.Netlist_ir.fu_instances st.Rtl.Netlist_ir.wires;
       (* pipelined multipliers: P1 as a pipelined class *)
       let pipelined t = t = 0 in
       (match

@@ -35,10 +35,12 @@ type request = {
   trace : bool;
   budget_ms : int option;
   levels : Fulib.Dvfs.level array array option;
+  rtl : bool;
 }
 
 let request ?(scheduler = List_scheduling) ?(validate = false)
-    ?(trace = false) ?budget_ms ?levels ~algorithm ~deadline graph table =
+    ?(trace = false) ?budget_ms ?levels ?(rtl = false) ~algorithm ~deadline
+    graph table =
   {
     graph;
     table;
@@ -49,6 +51,7 @@ let request ?(scheduler = List_scheduling) ?(validate = false)
     trace;
     budget_ms;
     levels;
+    rtl;
   }
 
 type status = Ok | Infeasible | Infeasible_memory | Timeout | Error of string
@@ -67,6 +70,7 @@ type response = {
   violations : Check.Violation.t list;
   stats : (string * int) list;
   dvfs : dvfs option;
+  rtl : Rtl.Backend.response option;
 }
 
 (** The table a response's result refers to: the DVFS-expanded table on
@@ -212,9 +216,9 @@ let solve_raw req =
     | None -> false
     | Some ms -> (Unix.gettimeofday () -. started) *. 1000.0 >= float_of_int ms
   in
-  let finish status ?result ?(violations = []) ?dvfs stats =
+  let finish status ?result ?(violations = []) ?dvfs ?rtl stats =
     count_status status;
-    { result; status; violations; stats; dvfs }
+    { result; status; violations; stats; dvfs; rtl }
   in
   Obs.Counter.incr c_requests;
   Obs.Span.with_
@@ -330,6 +334,35 @@ let solve_raw req =
                                 reclaim_moves = rc.Sched.Reclaim.moves;
                               } )
                     in
+                    (* RTL lowering over the solve table (the expanded one
+                       on leveled requests — the schedule's steps refer to
+                       it), deterministic so cached responses stay
+                       byte-identical. *)
+                    let rtl =
+                      if not req.rtl then None
+                      else
+                        Some
+                          (Obs.Span.with_ "phase.rtl" (fun () ->
+                               Rtl.Backend.lower
+                                 (Rtl.Backend.request req.graph table
+                                    r.schedule)))
+                    in
+                    let rtl_stats =
+                      match rtl with
+                      | None -> []
+                      | Some resp ->
+                          let st = resp.Rtl.Backend.stats in
+                          [
+                            ( "rtl_fu_instances",
+                              st.Rtl.Netlist_ir.fu_instances );
+                            ("rtl_registers", st.Rtl.Netlist_ir.registers);
+                            ("rtl_mux_count", st.Rtl.Netlist_ir.mux_count);
+                            ("rtl_mux_inputs", st.Rtl.Netlist_ir.mux_inputs);
+                            ("rtl_wires", st.Rtl.Netlist_ir.wires);
+                            ( "rtl_unsupported",
+                              st.Rtl.Netlist_ir.unsupported_ops );
+                          ]
+                    in
                     (* The validate span is always present so traces show
                        the phase ran, even when nothing asks for an
                        audit. *)
@@ -347,7 +380,8 @@ let solve_raw req =
                     in
                     (match audit with
                     | None ->
-                        finish Ok ~result:r ?dvfs (result_stats ?dvfs req r)
+                        finish Ok ~result:r ?dvfs ?rtl
+                          (result_stats ?dvfs req r @ rtl_stats)
                     | Some reports ->
                         let violations =
                           List.concat_map
@@ -360,14 +394,14 @@ let solve_raw req =
                             0 reports
                         in
                         let stats =
-                          result_stats ?dvfs req r
+                          result_stats ?dvfs req r @ rtl_stats
                           @ [
                               ("checked", checked);
                               ("violations", List.length violations);
                             ]
                         in
                         if violations = [] then
-                          finish Ok ~result:r ?dvfs stats
+                          finish Ok ~result:r ?dvfs ?rtl stats
                         else
                           finish
                             (Error
@@ -376,7 +410,7 @@ let solve_raw req =
                                    first %s"
                                   (List.length violations)
                                   (List.hd violations).Check.Violation.code))
-                            ~result:r ~violations ?dvfs stats)))
+                            ~result:r ~violations ?dvfs ?rtl stats)))
 
 let with_trace req f =
   if not req.trace then f ()
@@ -397,6 +431,7 @@ let solve req =
       violations = [];
       stats = base_stats req;
       dvfs = None;
+      rtl = None;
     }
 
 (* --- periodic requests --------------------------------------------------- *)

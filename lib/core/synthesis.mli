@@ -70,17 +70,24 @@ type request = {
           level) pair is a selectable implementation), reclaims static
           slack after Phase 2 ({!Sched.Reclaim}), reports energy stats,
           and carries the expanded table in the response's [dvfs] field. *)
+  rtl : bool;
+      (** lower the solved design to structural SystemVerilog
+          ({!Rtl.Backend}, style [Structural]) and carry the artifacts,
+          interconnect stats and unsupported-op report in the response's
+          [rtl] field. Deterministic, so cached responses stay
+          byte-identical. *)
 }
 
-(** [request ?scheduler ?validate ?trace ?budget_ms ?levels ~algorithm
-    ~deadline graph table] — defaults: {!List_scheduling}, no validation,
-    no tracing, no budget, no DVFS levels. *)
+(** [request ?scheduler ?validate ?trace ?budget_ms ?levels ?rtl
+    ~algorithm ~deadline graph table] — defaults: {!List_scheduling}, no
+    validation, no tracing, no budget, no DVFS levels, no RTL. *)
 val request :
   ?scheduler:scheduler ->
   ?validate:bool ->
   ?trace:bool ->
   ?budget_ms:int ->
   ?levels:Fulib.Dvfs.level array array ->
+  ?rtl:bool ->
   algorithm:algorithm ->
   deadline:int ->
   Dfg.Graph.t ->
@@ -126,6 +133,12 @@ type response = {
           instead). *)
   dvfs : dvfs option;  (** present exactly on leveled requests that
                            produced a result *)
+  rtl : Rtl.Backend.response option;
+      (** present exactly on [rtl] requests that produced a result: the
+          structural module + testbench texts, the netlist IR, the
+          register/mux/wire interconnect stats, and the unsupported-op
+          report. On leveled requests the lowering refers to the
+          expanded table ({!response_table}). *)
 }
 
 (** The table a response's result refers to: [dvfs.expanded] on leveled

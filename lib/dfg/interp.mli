@@ -20,6 +20,13 @@
     (node [v] with cumulative lag [r <= 0] sees its stream delayed by
     [-r] iterations, reading 0 during the prologue). *)
 
+(** [apply op operands] is one firing of an operation on concrete values —
+    the single-step semantics {!run} iterates, exposed so a cycle-accurate
+    hardware model ({!Rtl.Sim}) can share it verbatim and make functional
+    differences impossible by construction: any co-simulation divergence
+    is then a structural or timing bug, never an arithmetic one. *)
+val apply : string -> int list -> int
+
 (** [run g ~iterations ~input] returns [out] with [out.(v).(i)] the value
     node [v] produces at iteration [i]. [input v i] feeds source node [v]
     at iteration [i]; non-source nodes never consult it. *)

@@ -57,30 +57,46 @@ let compile ?(algorithm = Core.Synthesis.Repeat) ?deadline g table ~outdir =
   | None -> None
   | Some r ->
       mkdir_p outdir;
-      let datapath = Rtl.Datapath.build g table r.Core.Synthesis.schedule in
-      let interconnect = Rtl.Datapath.interconnect datapath in
+      let stimulus v i = ((v + 1) * 3) + (i land 7) in
+      let behavioral =
+        Rtl.Backend.lower
+          (Rtl.Backend.request ~style:Rtl.Backend.Behavioral
+             ~module_name:"hetsched_datapath" ~testbench_iterations:4
+             ~vcd_iterations:2 ~stimulus g table r.Core.Synthesis.schedule)
+      in
+      let structural =
+        Rtl.Backend.lower
+          (Rtl.Backend.request ~style:Rtl.Backend.Structural
+             ~module_name:"hetsched_datapath" ~testbench_iterations:4
+             ~stimulus g table r.Core.Synthesis.schedule)
+      in
       let registers =
         Sched.Registers.max_live g table r.Core.Synthesis.schedule
       in
       let file name = Filename.concat outdir name in
       let report =
-        Format.asprintf "%a@.@.interconnect: %d muxes, %d total mux inputs@."
+        Format.asprintf
+          "%a@.@.interconnect: %d muxes, %d total mux inputs@.structural: %a@."
           (Core.Synthesis.pp_result ~graph:g ~table)
-          r interconnect.Rtl.Datapath.mux_count
-          interconnect.Rtl.Datapath.mux_inputs
+          r behavioral.Rtl.Backend.stats.Rtl.Netlist_ir.mux_count
+          behavioral.Rtl.Backend.stats.Rtl.Netlist_ir.mux_inputs
+          Rtl.Backend.pp_stats structural.Rtl.Backend.stats
       in
       write (file "report.txt") report;
       write (file "schedule.csv") (schedule_csv g table r);
-      write (file "datapath.v") (Rtl.Verilog.emit g table datapath);
-      let binding = Sched.Binding.bind table r.Core.Synthesis.schedule in
-      write (file "trace.vcd")
-        (Rtl.Vcd.trace ~iterations:2 g table r.Core.Synthesis.schedule binding
-           ~period:(Sched.Schedule.length table r.Core.Synthesis.schedule));
+      write (file "datapath.v") behavioral.Rtl.Backend.module_text;
+      write (file "datapath.sv") structural.Rtl.Backend.module_text;
+      (match behavioral.Rtl.Backend.vcd_text with
+      | Some vcd -> write (file "trace.vcd") vcd
+      | None -> ());
       write (file "schedule.svg")
         (Rtl.Svg_gantt.render ~graph:g ~table r.Core.Synthesis.schedule);
-      write (file "datapath_tb.v")
-        (Rtl.Testbench.emit g table datapath ~iterations:4
-           ~input:(fun v i -> ((v + 1) * 3) + i land 7));
+      (match behavioral.Rtl.Backend.testbench_text with
+      | Some tb -> write (file "datapath_tb.v") tb
+      | None -> ());
+      (match structural.Rtl.Backend.testbench_text with
+      | Some tb -> write (file "datapath_tb.sv") tb
+      | None -> ());
       let label v =
         Fulib.Library.type_name (Fulib.Table.library table)
           r.Core.Synthesis.assignment.(v)
@@ -95,12 +111,13 @@ let compile ?(algorithm = Core.Synthesis.Repeat) ?deadline g table ~outdir =
           makespan = r.Core.Synthesis.makespan;
           config = r.Core.Synthesis.config;
           registers;
-          mux_inputs = interconnect.Rtl.Datapath.mux_inputs;
+          mux_inputs = behavioral.Rtl.Backend.stats.Rtl.Netlist_ir.mux_inputs;
           files =
             List.map file
               [
-                "report.txt"; "schedule.csv"; "datapath.v"; "datapath_tb.v";
-                "trace.vcd"; "schedule.svg"; "graph.dot"; "frontier.csv";
+                "report.txt"; "schedule.csv"; "datapath.v"; "datapath.sv";
+                "datapath_tb.v"; "datapath_tb.sv"; "trace.vcd";
+                "schedule.svg"; "graph.dot"; "frontier.csv";
               ];
         }
 

@@ -7,8 +7,11 @@
       register bound, interconnect statistics;
     - [schedule.csv] — one row per operation (start, finish, FU, operands);
     - [datapath.v] — behavioural Verilog of the bound datapath;
-    - [datapath_tb.v] — a self-checking testbench for it (golden values
-      from the {!Dfg.Interp} functional model);
+    - [datapath.sv] — structural SystemVerilog: shared FU instances,
+      operand muxes, left-edge register file ({!Rtl.Backend}, style
+      [Structural]);
+    - [datapath_tb.v] / [datapath_tb.sv] — self-checking testbenches for
+      both (golden values from the {!Dfg.Interp} functional model);
     - [trace.vcd] — a two-iteration waveform (step counter, per-FU busy
       bits, per-operation activity) for any VCD viewer;
     - [schedule.svg] — a figure-quality Gantt chart of the bound schedule;

@@ -34,6 +34,7 @@ type t = {
 
 val build :
   Dfg.Graph.t -> Fulib.Table.t -> Sched.Schedule.t -> t
+[@@deprecated "use Rtl.Backend.lower; the facade builds the datapath view"]
 
 type interconnect = {
   mux_count : int;  (** operand ports needing a mux (≥ 2 sources) *)

@@ -1,0 +1,30 @@
+let sanitize name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  let s = Buffer.contents buf in
+  if s = "" || (s.[0] >= '0' && s.[0] <= '9') then "n_" ^ s else s
+
+let unique names =
+  let taken = Hashtbl.create (Array.length names * 2) in
+  Array.map
+    (fun name ->
+      let base = sanitize name in
+      if not (Hashtbl.mem taken base) then begin
+        Hashtbl.replace taken base ();
+        base
+      end
+      else begin
+        let k = ref 2 in
+        while Hashtbl.mem taken (Printf.sprintf "%s_%d" base !k) do incr k done;
+        let fresh = Printf.sprintf "%s_%d" base !k in
+        Hashtbl.replace taken fresh ();
+        fresh
+      end)
+    names
+
+let node_names g = unique (Dfg.Graph.names g)

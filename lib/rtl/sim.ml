@@ -1,0 +1,132 @@
+type state = {
+  regs : int array;
+  hists : (int, int array) Hashtbl.t;
+  latches : int array array;
+  latched_cls : int array;
+  holds : (int, int) Hashtbl.t;
+}
+
+let eval_fu nl st f =
+  let fu = nl.Netlist_ir.fus.(f) in
+  if Array.length fu.Netlist_ir.classes = 0 then 0
+  else
+    let c = fu.Netlist_ir.classes.(st.latched_cls.(f)) in
+    let operands =
+      List.init c.Netlist_ir.arity (fun p -> st.latches.(f).(p))
+    in
+    Dfg.Interp.apply c.Netlist_ir.op operands
+
+let run nl ~iterations ~input =
+  if iterations < 0 then invalid_arg "Sim.run: negative iterations";
+  let open Netlist_ir in
+  let period = nl.period in
+  let num_fus = Array.length nl.fus in
+  let st =
+    {
+      regs = Array.make (max nl.reg_count 1) 0;
+      hists = Hashtbl.create 16;
+      latches = Array.map (fun fu -> Array.make (max fu.ports 1) 0) nl.fus;
+      latched_cls = Array.make (max num_fus 1) 0;
+      holds = Hashtbl.create 8;
+    }
+  in
+  Array.iter
+    (fun h -> Hashtbl.replace st.hists h.hnode (Array.make h.depth 0))
+    nl.histories;
+  List.iter
+    (fun o -> if o.hold <> None then Hashtbl.replace st.holds o.onode 0)
+    nl.outputs;
+  (* per-step decode tables *)
+  let acts_at = Array.make period [] in
+  Array.iter
+    (fun fu ->
+      Array.iter
+        (fun a -> acts_at.(a.latch_step) <- (fu.id, a) :: acts_at.(a.latch_step))
+        fu.activations)
+    nl.fus;
+  let writes_at = Array.make period [] in
+  Array.iter (fun w -> writes_at.(w.step) <- w :: writes_at.(w.step)) nl.writes;
+  let outputs = Array.of_list nl.outputs in
+  let sampled =
+    Array.init (Array.length outputs) (fun _ -> Array.make iterations 0)
+  in
+  for iter = 0 to iterations - 1 do
+    for step = 0 to period - 1 do
+      (* combinational result buses over pre-edge latches *)
+      let bus = Array.init num_fus (eval_fu nl st) in
+      let value_of = function
+        | Input v -> input v iter
+        | Register r -> st.regs.(r)
+        | History (v, d) -> (Hashtbl.find st.hists v).(d - 1)
+        | Fu_bus f -> bus.(f)
+      in
+      (* gather all flip-flop updates against pre-edge state, commit after *)
+      let latch_updates =
+        List.map
+          (fun (f, a) -> (f, a.cls, Array.map value_of a.operands))
+          acts_at.(step)
+      in
+      let write_updates =
+        List.map (fun w -> (w.reg, value_of w.source)) writes_at.(step)
+      in
+      let boundary = step = period - 1 in
+      let hist_updates =
+        if not boundary then []
+        else
+          Array.to_list nl.histories
+          |> List.map (fun h ->
+                 let chain = Hashtbl.find st.hists h.hnode in
+                 let shifted =
+                   Array.init h.depth (fun d ->
+                       if d = 0 then value_of h.feed else chain.(d - 1))
+                 in
+                 (h.hnode, shifted))
+      in
+      let hold_updates =
+        if not boundary then []
+        else
+          List.filter_map
+            (fun o ->
+              match o.hold with
+              | Some src -> Some (o.onode, value_of src)
+              | None -> None)
+            nl.outputs
+      in
+      List.iter
+        (fun (f, cls, vals) ->
+          st.latched_cls.(f) <- cls;
+          Array.iteri (fun p v -> st.latches.(f).(p) <- v) vals)
+        latch_updates;
+      List.iter (fun (r, v) -> st.regs.(r) <- v) write_updates;
+      List.iter (fun (v, chain) -> Hashtbl.replace st.hists v chain) hist_updates;
+      List.iter (fun (v, x) -> Hashtbl.replace st.holds v x) hold_updates
+    done;
+    Array.iteri
+      (fun i o ->
+        sampled.(i).(iter) <-
+          (match o.hold with
+          | Some _ -> Hashtbl.find st.holds o.onode
+          | None -> st.regs.(nl.reg_of_node.(o.onode))))
+      outputs
+  done;
+  (Array.to_list outputs |> List.map (fun o -> o.onode), sampled)
+
+let differential nl g ~iterations ~input =
+  let mask = (1 lsl nl.Netlist_ir.width) - 1 in
+  let golden = Dfg.Interp.run g ~iterations ~input in
+  let out_nodes, sampled = run nl ~iterations ~input in
+  let mismatch = ref None in
+  List.iteri
+    (fun i v ->
+      for it = 0 to iterations - 1 do
+        let got = sampled.(i).(it) land mask in
+        let want = golden.(v).(it) land mask in
+        if got <> want && !mismatch = None then
+          mismatch :=
+            Some
+              (Printf.sprintf
+                 "output %s (node %d) iteration %d: sim %d, interp %d"
+                 nl.Netlist_ir.names.(v) v it got want)
+      done)
+    out_nodes;
+  match !mismatch with None -> Ok () | Some m -> Error m

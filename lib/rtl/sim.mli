@@ -1,0 +1,40 @@
+(** Cycle-accurate OCaml execution of a structural netlist.
+
+    Executes {!Netlist_ir} exactly as the emitted SystemVerilog would: a
+    modulo-period step counter, posedge flip-flop semantics (every latch,
+    register-file write, history shift, and hold-register load reads
+    pre-edge state), combinational FU result buses over the latched
+    operands, and output sampling after the edge that ends each
+    iteration. FU classes are applied with {!Dfg.Interp.apply} itself, so
+    the co-simulation contract is sharp: {!run} uses ideal (unbounded)
+    OCaml integers internally and the differential masks only the sampled
+    outputs — so {!differential} checks structure and timing (sharing,
+    forwarding, history depths, FSM decode) and holds for every stimulus
+    and width. Bit-true wrap-around behaviour of the hardware itself is
+    the emitted self-checking testbench's job, under a real Verilog
+    simulator when one is available.
+
+    Note the one place ideal and W-bit arithmetic diverge observably:
+    [comp] compares signed unbounded values and is not homomorphic under
+    masking, which is exactly why the internal datapath is simulated
+    ideally rather than masked per step. *)
+
+(** [run nl ~iterations ~input] simulates [iterations] periods from reset
+    with [input v i] driving input node [v]'s port during iteration [i].
+    Returns the output nodes (in port order) and, per output, the value
+    sampled at the end of each iteration — unmasked. *)
+val run :
+  Netlist_ir.t ->
+  iterations:int ->
+  input:(int -> int -> int) ->
+  int list * int array array
+
+(** [differential nl g ~iterations ~input] compares {!run} against
+    {!Dfg.Interp.run} on the same stimulus, masking both to the netlist
+    width; [Error detail] names the first mismatching output sample. *)
+val differential :
+  Netlist_ir.t ->
+  Dfg.Graph.t ->
+  iterations:int ->
+  input:(int -> int -> int) ->
+  (unit, string) result

@@ -30,6 +30,7 @@ val emit :
   iterations:int ->
   input:(int -> int -> int) ->
   string
+[@@deprecated "use Rtl.Backend.lower; testbench_iterations > 0 emits one"]
 (** The table argument is accepted for interface symmetry with
     {!Verilog.emit}; the stimulus/expectation logic needs only the graph
     and the datapath. *)

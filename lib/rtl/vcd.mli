@@ -19,3 +19,4 @@ val trace :
   Sched.Binding.t ->
   period:int ->
   string
+[@@deprecated "use Rtl.Backend.lower; vcd_iterations > 0 emits a trace"]

@@ -35,8 +35,9 @@ val emit :
   Fulib.Table.t ->
   Datapath.t ->
   string
+[@@deprecated "use Rtl.Backend.lower with style Behavioral"]
 
-(** The identifier sanitiser used for ports and registers (non-alphanumeric
-    characters become underscores, a leading digit gains an [n_] prefix);
-    exposed so {!Testbench} names its nets identically. *)
+(** Alias for {!Ident.sanitize}, kept for compatibility. Note that both
+    emitters now derive nets through {!Ident.node_names}, which also
+    uniquifies collisions ([a.b] vs [a_b]). *)
 val sanitize : string -> string

@@ -195,6 +195,9 @@ let digest (req : Core.Synthesis.request) =
               ch ';')
             ladder)
         levels);
+  (* the rtl knob adds artifact digests and stats to the response, so a
+     lowered request must never collide with its plain twin *)
+  Buffer.add_string buf (if req.Core.Synthesis.rtl then ";R1" else ";R0");
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 (* Shard selection: the digest's first two hex characters, i.e. its top

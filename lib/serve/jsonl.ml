@@ -266,12 +266,13 @@ let request_of_json ?lookup ~line json =
     let* levels = lift (parse_levels json table) in
     let validate = Option.value (bool_field "validate" json) ~default:false in
     let trace = Option.value (bool_field "trace" json) ~default:false in
+    let rtl = Option.value (bool_field "rtl" json) ~default:false in
     let budget_ms = int_field "budget_ms" json in
     Ok
       {
         id;
         request =
-          Core.Synthesis.request ~scheduler ~validate ~trace ?budget_ms
+          Core.Synthesis.request ~scheduler ~validate ~trace ~rtl ?budget_ms
             ?levels ~algorithm ~deadline g table;
       }
   in
@@ -352,6 +353,45 @@ let violation_json (v : Check.Violation.t) =
       ("detail", J.String v.Check.Violation.detail);
     ]
 
+(* Artifacts travel as content digests, not inline text: a wire client
+   that wants the RTL itself runs [hetsched rtl]; the digests let it
+   detect artifact drift cheaply, and unsupported ops surface exactly
+   like Check violations ({code, node, detail}). *)
+let rtl_fields (resp : Core.Synthesis.response) =
+  match resp.Core.Synthesis.rtl with
+  | None -> []
+  | Some r ->
+      let st = r.Rtl.Backend.stats in
+      let digest s = J.String (Digest.to_hex (Digest.string s)) in
+      [
+        ( "rtl",
+          J.Obj
+            [
+              ("module_digest", digest r.Rtl.Backend.module_text);
+              ( "testbench_digest",
+                match r.Rtl.Backend.testbench_text with
+                | Some tb -> digest tb
+                | None -> J.Null );
+              ("period", J.Int r.Rtl.Backend.period);
+              ("fu_instances", J.Int st.Rtl.Netlist_ir.fu_instances);
+              ("registers", J.Int st.Rtl.Netlist_ir.registers);
+              ("mux_count", J.Int st.Rtl.Netlist_ir.mux_count);
+              ("mux_inputs", J.Int st.Rtl.Netlist_ir.mux_inputs);
+              ("wires", J.Int st.Rtl.Netlist_ir.wires);
+              ( "unsupported",
+                J.List
+                  (List.map
+                     (fun (u : Rtl.Backend.unsupported) ->
+                       J.Obj
+                         [
+                           ("code", J.String "unsupported-op");
+                           ("node", J.Int u.Rtl.Backend.node);
+                           ("detail", J.String u.Rtl.Backend.op);
+                         ])
+                     r.Rtl.Backend.unsupported) );
+            ] );
+      ]
+
 let response_to_json ~id (resp : Core.Synthesis.response) =
   let result_fields =
     match resp.Core.Synthesis.result with
@@ -371,6 +411,7 @@ let response_to_json ~id (resp : Core.Synthesis.response) =
     ([ ("id", id) ]
     @ status_fields resp.Core.Synthesis.status
     @ result_fields
+    @ rtl_fields resp
     @ [
         ( "violations",
           J.List (List.map violation_json resp.Core.Synthesis.violations) );

@@ -23,8 +23,8 @@
       down, at least the minimum).
     - [algorithm] (optional, default ["repeat"]) — any
       {!Assign.Solve.of_name} spelling; [scheduler] (["list"] or
-      ["force"], default ["list"]); [validate] / [trace] (bools, default
-      false); [budget_ms] (optional).
+      ["force"], default ["list"]); [validate] / [trace] / [rtl] (bools,
+      default false); [budget_ms] (optional).
 
     {2 Response line}
 
@@ -37,6 +37,15 @@
     [status] is ["ok"], ["infeasible"], ["timeout"] or ["error"] (then an
     ["error"] field carries the message). Result fields are present only
     when there is a result.
+
+    With ["rtl": true], a result additionally carries an ["rtl"] object:
+    MD5 content digests of the structural module and its testbench (the
+    artifacts themselves come from [hetsched rtl], not the wire), the
+    lowered ["period"], interconnect stats ([fu_instances], [registers],
+    [mux_count], [mux_inputs], [wires]) and an ["unsupported"] list whose
+    entries mirror violation objects ([{code, node, detail}] with code
+    ["unsupported-op"]). The knob is part of the cache digest, so lowered
+    and plain responses never collide.
 
     {2 Admission lines}
 

@@ -51,6 +51,7 @@ let guarded_solve t req =
       violations = [];
       stats = [];
       dvfs = None;
+      rtl = None;
     }
 
 let drain t =

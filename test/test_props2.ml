@@ -226,9 +226,13 @@ let renderers_total =
 let testbench_embeds_interp_values =
   of_seed (fun seed ->
       let g, tbl, s, _, _ = scheduled_instance seed in
-      let dp = Rtl.Datapath.build g tbl s in
       let input v i = ((v * 5) + i) land 15 in
-      let tb = Rtl.Testbench.emit g tbl dp ~iterations:3 ~input in
+      let resp =
+        Rtl.Backend.lower
+          (Rtl.Backend.request ~style:Rtl.Backend.Behavioral
+             ~testbench_iterations:3 ~stimulus:input g tbl s)
+      in
+      let tb = Option.get resp.Rtl.Backend.testbench_text in
       let expected = Dfg.Interp.run g ~iterations:3 ~input in
       let contains hay needle =
         let nl = String.length needle and hl = String.length hay in
@@ -237,12 +241,10 @@ let testbench_embeds_interp_values =
       in
       (* every output node's final-iteration expectation is embedded *)
       List.for_all
-        (fun o ->
-          let v = o.Rtl.Datapath.node in
-          contains tb (string_of_int (expected.(v).(2) land 0xFFFF)))
-        (List.filter
-           (fun o -> o.Rtl.Datapath.is_output)
-           (Array.to_list dp.Rtl.Datapath.operations)))
+        (fun v ->
+          Dfg.Graph.dag_succs g v <> []
+          || contains tb (string_of_int (expected.(v).(2) land 0xFFFF)))
+        (List.init (Dfg.Graph.num_nodes g) Fun.id))
 
 let () =
   Alcotest.run "properties2"

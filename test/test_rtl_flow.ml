@@ -1,5 +1,6 @@
-(* Tests for the RTL back end (datapath, Verilog) and the end-to-end
-   compilation flow. *)
+(* Tests for the RTL back end (behavioural style through the Rtl.Backend
+   facade) and the end-to-end compilation flow. The structural style and
+   the co-simulation differential live in test_rtl_backend.ml. *)
 
 open Helpers
 
@@ -28,45 +29,55 @@ let synth g tbl =
   | Some r -> r
   | None -> Alcotest.fail "synthesis failed"
 
-(* --- Datapath ---------------------------------------------------------- *)
+let behavioral ?(testbench_iterations = 0) ?stimulus ?vcd_iterations g tbl s =
+  Rtl.Backend.lower
+    (Rtl.Backend.request ~style:Rtl.Backend.Behavioral
+       ~module_name:"hetsched_datapath" ~testbench_iterations ?stimulus
+       ?vcd_iterations g tbl s)
 
-let test_datapath_structure () =
-  let g = diamond () in
+(* --- Facade response structure ----------------------------------------- *)
+
+let test_backend_response_shape () =
+  let g =
+    graph ~ops:[| "add"; "mul"; "sub"; "add" |] 4
+      [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+  in
   let tbl =
     table lib2
       [ ([ 1; 2 ], [ 6; 2 ]); ([ 2; 3 ], [ 7; 3 ]); ([ 2; 4 ], [ 8; 2 ]); ([ 1; 2 ], [ 5; 1 ]) ]
   in
   let r = synth g tbl in
-  let dp = Rtl.Datapath.build g tbl r.Core.Synthesis.schedule in
-  Alcotest.(check int) "one op per node" 4 (Array.length dp.Rtl.Datapath.operations);
+  let resp = behavioral g tbl r.Core.Synthesis.schedule in
   Alcotest.(check int) "period = schedule length"
     (Sched.Schedule.length tbl r.Core.Synthesis.schedule)
-    dp.Rtl.Datapath.period;
-  let op0 = dp.Rtl.Datapath.operations.(0) in
-  Alcotest.(check bool) "root is an input" true op0.Rtl.Datapath.is_input;
-  let op3 = dp.Rtl.Datapath.operations.(3) in
-  Alcotest.(check bool) "join is an output" true op3.Rtl.Datapath.is_output;
-  Alcotest.(check (list int)) "join's operands" [ 1; 2 ] op3.Rtl.Datapath.operands
+    resp.Rtl.Backend.period;
+  Alcotest.(check bool) "behavioral carries no netlist" true
+    (resp.Rtl.Backend.netlist = None);
+  Alcotest.(check bool) "no testbench when iterations = 0" true
+    (resp.Rtl.Backend.testbench_text = None);
+  Alcotest.(check bool) "no vcd by default" true
+    (resp.Rtl.Backend.vcd_text = None);
+  Alcotest.(check bool) "supported ops report clean" true
+    (resp.Rtl.Backend.unsupported = [])
 
 let test_interconnect_zero_without_sharing () =
   (* 2 independent nodes on 2 instances: no port sees two sources *)
   let g = graph 2 [] in
   let tbl = table lib2 [ ([ 1; 1 ], [ 1; 1 ]); ([ 1; 1 ], [ 1; 1 ]) ] in
   let s = { Sched.Schedule.start = [| 0; 0 |]; assignment = [| 0; 0 |] } in
-  let dp = Rtl.Datapath.build g tbl s in
-  let ic = Rtl.Datapath.interconnect dp in
-  Alcotest.(check int) "no muxes" 0 ic.Rtl.Datapath.mux_count
+  let resp = behavioral g tbl s in
+  Alcotest.(check int) "no muxes" 0
+    resp.Rtl.Backend.stats.Rtl.Netlist_ir.mux_count
 
 let test_interconnect_counts_sharing () =
-  (* chain a->b, a->c with b,c on the same FU serially: slot 0 of that FU
-     sees only producer a -> still no mux; make two chains b<-a, c<-d to
-     force two sources on one port *)
+  (* two chains b<-a, c<-d to force two sources on one port when the
+     consumers share an instance *)
   let g = graph 4 [ (0, 1); (2, 3) ] in
   let tbl = table lib2 (List.init 4 (fun _ -> ([ 1; 1 ], [ 1; 1 ]))) in
   (* b (1) and d (3) serialised on the same single FU instance *)
   let s = { Sched.Schedule.start = [| 0; 1; 0; 2 |]; assignment = [| 0; 0; 0; 0 |] } in
-  let dp = Rtl.Datapath.build g tbl s in
-  let ic = Rtl.Datapath.interconnect dp in
+  let resp = behavioral g tbl s in
+  let ic = resp.Rtl.Backend.stats in
   (* binding is left-edge; with all four ops on type 0 the consumers 1 and
      3 may or may not share an instance — recompute expectation from the
      actual binding *)
@@ -75,10 +86,10 @@ let test_interconnect_counts_sharing () =
     b.Sched.Binding.instance.(1) = b.Sched.Binding.instance.(3)
   in
   if shared then begin
-    Alcotest.(check int) "one mux" 1 ic.Rtl.Datapath.mux_count;
-    Alcotest.(check int) "two inputs" 2 ic.Rtl.Datapath.mux_inputs
+    Alcotest.(check int) "one mux" 1 ic.Rtl.Netlist_ir.mux_count;
+    Alcotest.(check int) "two inputs" 2 ic.Rtl.Netlist_ir.mux_inputs
   end
-  else Alcotest.(check int) "no mux" 0 ic.Rtl.Datapath.mux_count
+  else Alcotest.(check int) "no mux" 0 ic.Rtl.Netlist_ir.mux_count
 
 (* --- Verilog ----------------------------------------------------------- *)
 
@@ -89,8 +100,7 @@ let test_verilog_structure () =
       [ ([ 1; 2 ], [ 6; 2 ]); ([ 2; 3 ], [ 7; 3 ]); ([ 2; 4 ], [ 8; 2 ]); ([ 1; 2 ], [ 5; 1 ]) ]
   in
   let r = synth g tbl in
-  let dp = Rtl.Datapath.build g tbl r.Core.Synthesis.schedule in
-  let v = Rtl.Verilog.emit g tbl dp in
+  let v = (behavioral g tbl r.Core.Synthesis.schedule).Rtl.Backend.module_text in
   Alcotest.(check bool) "module header" true (contains v "module hetsched_datapath");
   Alcotest.(check bool) "endmodule" true (contains v "endmodule");
   Alcotest.(check bool) "step counter" true (contains v "reg ");
@@ -105,8 +115,7 @@ let test_verilog_history_registers () =
   let g = graph_with_delays 3 [ (0, 1, 0); (1, 2, 0); (2, 0, 2) ] in
   let tbl = table lib2 (List.init 3 (fun _ -> ([ 2; 2 ], [ 1; 1 ]))) in
   let s = { Sched.Schedule.start = [| 0; 2; 4 |]; assignment = [| 0; 0; 0 |] } in
-  let dp = Rtl.Datapath.build g tbl s in
-  let v = Rtl.Verilog.emit g tbl dp in
+  let v = (behavioral g tbl s).Rtl.Backend.module_text in
   Alcotest.(check bool) "history register depth 1" true (contains v "r_v2_h1");
   Alcotest.(check bool) "history register depth 2" true (contains v "r_v2_h2");
   Alcotest.(check bool) "consumer reads history" true (contains v "r_v2_h2;");
@@ -119,8 +128,7 @@ let test_verilog_operator_mapping () =
   let g = graph ~ops:[| "mul"; "add"; "sub"; "comp" |] 4 [ (0, 1); (1, 2); (2, 3) ] in
   let tbl = table lib2 (List.init 4 (fun _ -> ([ 1; 1 ], [ 1; 1 ]))) in
   let s = { Sched.Schedule.start = [| 0; 1; 2; 3 |]; assignment = [| 0; 0; 0; 0 |] } in
-  let dp = Rtl.Datapath.build g tbl s in
-  let v = Rtl.Verilog.emit g tbl dp in
+  let v = (behavioral g tbl s).Rtl.Backend.module_text in
   (* single-operand chains degenerate to a bare operand reference; check
      the two-operand case instead via the diamond in the structure test;
      here check name sanitisation and the input expression *)
@@ -133,8 +141,7 @@ let test_verilog_sanitizes_names () =
   in
   let tbl = table lib2 [ ([ 1; 1 ], [ 1; 1 ]); ([ 1; 1 ], [ 1; 1 ]) ] in
   let s = { Sched.Schedule.start = [| 0; 1 |]; assignment = [| 0; 0 |] } in
-  let dp = Rtl.Datapath.build g tbl s in
-  let v = Rtl.Verilog.emit g tbl dp in
+  let v = (behavioral g tbl s).Rtl.Backend.module_text in
   Alcotest.(check bool) "a*x sanitised" true (contains v "r_a_x");
   Alcotest.(check bool) "no raw star" false (contains v "r_a*x")
 
@@ -159,7 +166,7 @@ let test_flow_compile () =
       match Flow.compile g tbl ~outdir:dir with
       | None -> Alcotest.fail "compile failed"
       | Some s ->
-          Alcotest.(check int) "eight files" 8 (List.length s.Flow.files);
+          Alcotest.(check int) "ten files" 10 (List.length s.Flow.files);
           List.iter
             (fun f ->
               Alcotest.(check bool) (f ^ " exists") true (Sys.file_exists f))
@@ -168,8 +175,16 @@ let test_flow_compile () =
           let report = read (Filename.concat dir "report.txt") in
           Alcotest.(check bool) "report has interconnect" true
             (contains report "interconnect:");
+          Alcotest.(check bool) "report has structural stats" true
+            (contains report "fu instances:");
           let verilog = read (Filename.concat dir "datapath.v") in
           Alcotest.(check bool) "verilog emitted" true (contains verilog "module ");
+          let sv = read (Filename.concat dir "datapath.sv") in
+          Alcotest.(check bool) "structural SV emitted" true
+            (contains sv "always_ff @(posedge clk)");
+          let sv_tb = read (Filename.concat dir "datapath_tb.sv") in
+          Alcotest.(check bool) "structural testbench emitted" true
+            (contains sv_tb "TESTBENCH PASSED");
           let vcd = read (Filename.concat dir "trace.vcd") in
           Alcotest.(check bool) "vcd definitions" true
             (contains vcd "$enddefinitions");
@@ -199,8 +214,12 @@ let test_vcd_structure () =
   let g = graph_with_delays 3 [ (0, 1, 0); (1, 2, 0); (2, 0, 2) ] in
   let tbl = table lib2 (List.init 3 (fun _ -> ([ 2; 2 ], [ 1; 1 ]))) in
   let s = { Sched.Schedule.start = [| 0; 2; 4 |]; assignment = [| 0; 0; 0 |] } in
-  let b = Sched.Binding.bind tbl s in
-  let vcd = Rtl.Vcd.trace ~iterations:3 g tbl s b ~period:6 in
+  let resp = behavioral ~vcd_iterations:3 g tbl s in
+  let vcd =
+    match resp.Rtl.Backend.vcd_text with
+    | Some v -> v
+    | None -> Alcotest.fail "vcd_iterations > 0 must emit a trace"
+  in
   Alcotest.(check bool) "step var" true (contains vcd "$var wire 32 ! step");
   Alcotest.(check bool) "busy var" true (contains vcd "busy_A_0");
   Alcotest.(check bool) "op var" true (contains vcd "op_v0");
@@ -219,17 +238,15 @@ let test_vcd_structure () =
       defs
   in
   Alcotest.(check int) "unique ids" (List.length ids)
-    (List.length (List.sort_uniq compare ids));
-  Alcotest.check_raises "bad period" (Invalid_argument "Vcd.trace: period < 1")
-    (fun () -> ignore (Rtl.Vcd.trace g tbl s b ~period:0))
+    (List.length (List.sort_uniq compare ids))
 
 let test_testbench_structure () =
   let g = graph_with_delays 3 [ (0, 1, 0); (1, 2, 0); (2, 0, 2) ] in
   let tbl = table lib2 (List.init 3 (fun _ -> ([ 2; 2 ], [ 1; 1 ]))) in
   let s = { Sched.Schedule.start = [| 0; 2; 4 |]; assignment = [| 0; 0; 0 |] } in
-  let dp = Rtl.Datapath.build g tbl s in
   let input _ i = i + 1 in
-  let tb = Rtl.Testbench.emit g tbl dp ~iterations:3 ~input in
+  let resp = behavioral ~testbench_iterations:3 ~stimulus:input g tbl s in
+  let tb = Option.get resp.Rtl.Backend.testbench_text in
   Alcotest.(check bool) "tb module" true (contains tb "module hetsched_datapath_tb");
   Alcotest.(check bool) "instantiates dut" true (contains tb "hetsched_datapath #(.W(16)) dut");
   Alcotest.(check bool) "check task" true (contains tb "task check");
@@ -244,11 +261,12 @@ let test_testbench_structure () =
   Alcotest.(check int) "one check per iteration" 3
     (count_occurrences tb "check(out_v2");
   Alcotest.check_raises "bad iterations"
-    (Invalid_argument "Testbench.emit: iterations < 1") (fun () ->
-      ignore (Rtl.Testbench.emit g tbl dp ~iterations:0 ~input));
+    (Invalid_argument "Backend.request: testbench_iterations < 0") (fun () ->
+      ignore
+        (Rtl.Backend.request ~testbench_iterations:(-1) g tbl s));
   (* the datapath it targets resets its registers, as the golden model
      assumes *)
-  let v = Rtl.Verilog.emit g tbl dp in
+  let v = resp.Rtl.Backend.module_text in
   Alcotest.(check bool) "registers reset" true (contains v "if (rst) r_v0 <= 0;")
 
 let test_flow_infeasible () =
@@ -261,9 +279,9 @@ let test_flow_infeasible () =
 let () =
   Alcotest.run "rtl_flow"
     [
-      ( "datapath",
+      ( "facade",
         [
-          quick "structure" test_datapath_structure;
+          quick "response shape" test_backend_response_shape;
           quick "interconnect without sharing" test_interconnect_zero_without_sharing;
           quick "interconnect with sharing" test_interconnect_counts_sharing;
         ] );

@@ -421,6 +421,51 @@ let test_jsonl_inline_round_trip () =
         "id round-trips" (Some "inline-1")
         (Option.bind (Obs.Json.member "id" json) Obs.Json.to_string_opt)
 
+(* the rtl knob: parsed, digest-separated, and rendered as an "rtl"
+   response object with artifact digests and interconnect stats *)
+let test_jsonl_rtl_block () =
+  let line_of rtl =
+    Printf.sprintf
+      {|{"id": "rtl-1", "graph": {"nodes": [{"name": "a", "op": "mul"}, {"name": "b", "op": "add"}], "edges": [[0, 1]]}, "table": {"types": ["P1", "P2"], "time": [[4, 8], [4, 8]], "cost": [[9, 4], [8, 3]]}, "deadline": 16%s}|}
+      (if rtl then {|, "rtl": true|} else "")
+  in
+  let parse l =
+    match Serve.Jsonl.request_of_string ~line:1 l with
+    | Ok item -> item
+    | Error msg -> Alcotest.failf "parse failed: %s" msg
+  in
+  let lowered = parse (line_of true) and plain = parse (line_of false) in
+  Alcotest.(check bool) "rtl knob parsed" true
+    lowered.Serve.Jsonl.request.Core.Synthesis.rtl;
+  Alcotest.(check bool) "knob separates cache digests" false
+    (Serve.Cache.digest lowered.Serve.Jsonl.request
+    = Serve.Cache.digest plain.Serve.Jsonl.request);
+  let render item =
+    Obs.Json.parse_exn
+      (Serve.Jsonl.response_to_string ~id:item.Serve.Jsonl.id
+         (Core.Synthesis.solve item.Serve.Jsonl.request))
+  in
+  Alcotest.(check bool) "plain response has no rtl block" true
+    (Obs.Json.member "rtl" (render plain) = None);
+  match Obs.Json.member "rtl" (render lowered) with
+  | None -> Alcotest.fail "lowered response has no rtl block"
+  | Some rtl ->
+      (match Obs.Json.member "module_digest" rtl with
+      | Some (Obs.Json.String d) ->
+          Alcotest.(check int) "md5 hex digest" 32 (String.length d)
+      | _ -> Alcotest.fail "rtl block has no module_digest");
+      (match
+         ( Obs.Json.member "fu_instances" rtl,
+           Obs.Json.member "registers" rtl )
+       with
+      | Some (Obs.Json.Int f), Some (Obs.Json.Int r) ->
+          Alcotest.(check bool) "stats populated" true (f >= 1 && r >= 0)
+      | _ -> Alcotest.fail "rtl block lacks interconnect stats");
+      (* mul and add are both mappable: no unsupported entries *)
+      (match Obs.Json.member "unsupported" rtl with
+      | Some (Obs.Json.List []) -> ()
+      | _ -> Alcotest.fail "expected an empty unsupported list")
+
 let test_jsonl_parse_errors () =
   let expect_error line s =
     match Serve.Jsonl.request_of_string ~line s with
@@ -678,6 +723,8 @@ let () =
         [
           Alcotest.test_case "inline round trip" `Quick
             test_jsonl_inline_round_trip;
+          Alcotest.test_case "rtl knob and response block" `Quick
+            test_jsonl_rtl_block;
           Alcotest.test_case "parse errors" `Quick test_jsonl_parse_errors;
           Alcotest.test_case "field validation names the field" `Quick
             test_jsonl_field_validation;
